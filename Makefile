@@ -1,0 +1,37 @@
+# Convenience targets for the MPI-xCCL reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick report examples tune clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/heffte_fft.py
+	$(PYTHON) examples/portability_sweep.py
+	$(PYTHON) examples/custom_algorithm.py
+	$(PYTHON) examples/dl_training.py
+
+tune:
+	$(PYTHON) -m repro.core.tune_cli --system thetagpu --nodes 4 --show
+
+clean:
+	rm -rf .pytest_cache benchmarks/results/*.csv
+	find . -name __pycache__ -type d -exec rm -rf {} +

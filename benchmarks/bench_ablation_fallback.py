@@ -1,0 +1,53 @@
+"""Ablation: the cost of automatic MPI fallback (DESIGN.md §5).
+
+The abstraction layer silently reroutes unsupported datatypes
+(DOUBLE_COMPLEX anywhere, anything-but-float on HCCL) to the MPI path.
+This bench quantifies what that transparency costs relative to a
+native-datatype call of the same wire size.
+"""
+
+import numpy as np
+
+from repro.core import run
+from repro.mpi import SUM
+
+SIZES = (4096, 65536, 1 << 20)
+
+
+def _sweep(system):
+    def body(mpx):
+        comm = mpx.COMM_WORLD
+        out = {}
+        for size in SIZES:
+            f = mpx.device_array(size // 4, dtype=np.float32, fill=1.0)
+            fr = mpx.device_array(size // 4, dtype=np.float32)
+            z = mpx.device_array(size // 16, dtype=np.complex128, fill=1j)
+            zr = mpx.device_array(size // 16, dtype=np.complex128)
+            comm.Barrier()
+            t0 = mpx.now
+            comm.Allreduce(f, fr, SUM)       # native float path
+            t_float = mpx.now - t0
+            comm.Barrier()
+            t1 = mpx.now
+            comm.Allreduce(z, zr, SUM)       # forced MPI fallback
+            out[size] = (t_float, mpx.now - t1)
+        return (out, mpx.route_stats.total_fallbacks)
+
+    return run(body, system=system, nodes=1)[0]
+
+
+def test_fallback_cost(benchmark):
+    """Fallbacks happen, stay correct, and cost only the MPI/CCL gap."""
+    out, fallbacks = benchmark.pedantic(_sweep, args=("thetagpu",),
+                                        rounds=1, iterations=1)
+    print("\n=== ablation: datatype fallback (same wire bytes) ===")
+    print(f"{'size':>9} {'float (us)':>12} {'dcomplex (us)':>14} {'ratio':>7}")
+    for size, (t_float, t_complex) in out.items():
+        print(f"{size:>9} {t_float:>12.2f} {t_complex:>14.2f} "
+              f"{t_complex / t_float:>7.2f}")
+    assert fallbacks == len(SIZES)
+    # at 4 MB the CCL route is far faster, so fallback costs real time —
+    # but it must still complete within an order of magnitude
+    t_float, t_complex = out[1 << 20]
+    assert t_complex > t_float
+    assert t_complex < 40 * t_float

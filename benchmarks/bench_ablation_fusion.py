@@ -1,0 +1,45 @@
+"""Ablation: Horovod fusion-buffer sensitivity (DESIGN.md §5).
+
+Small fusion buffers pay the CCL launch floor per bucket; huge ones
+lose overlap granularity.  The trainer's throughput as a function of
+the threshold shows the trade-off the presets encode.
+"""
+
+from repro.dl import HorovodConfig, train
+from repro.dl.models import resnet50
+from repro.hw.systems import make_system
+from repro.omb.stacks import make_stack
+from repro.sim.engine import Engine
+
+MB = 1 << 20
+THRESHOLDS = (MB // 4, 2 * MB, 16 * MB, 64 * MB)
+
+
+def _throughput(threshold):
+    cluster = make_system("thetagpu", 1)
+
+    def body(ctx):
+        stack = make_stack(ctx, "hybrid", "nccl")
+        cfg = HorovodConfig(fusion_threshold_bytes=threshold,
+                            cycle_time_us=300.0, overlap=0.0)
+        return train(ctx, stack, resnet50(), 64, steps=2, config=cfg)
+
+    return Engine(cluster, nranks=8).run(body)[0]
+
+
+def test_fusion_threshold_sensitivity(benchmark):
+    def sweep():
+        return {t: _throughput(t) for t in THRESHOLDS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== ablation: Horovod fusion threshold (no overlap) ===")
+    print(f"{'threshold':>10} {'img/s':>9} {'comm ms/step':>13} {'buckets'}")
+    from repro.dl.horovod import build_buckets
+    for t, r in results.items():
+        nb = len(build_buckets(resnet50(), t))
+        print(f"{t >> 20:>8}MB {r.img_per_sec:>9.0f} "
+              f"{r.comm_time_us / 1000:>13.2f} {nb:>7}")
+    # fragmenting into tiny buckets must cost real throughput
+    assert results[64 * MB].img_per_sec > results[MB // 4].img_per_sec
+    # and comm time must drop monotonically-ish with fusion
+    assert results[64 * MB].comm_time_us < results[MB // 4].comm_time_us

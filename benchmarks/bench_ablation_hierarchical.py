@@ -1,0 +1,61 @@
+"""Ablation: flat vs hierarchical (node-leader) collectives.
+
+The topology-aware designs reduce within each node first, cross the
+fabric once among leaders, then fan back out.  Against the flat
+bandwidth algorithms (ring) they win at medium sizes across nodes;
+against latency-optimal flat recursive doubling with block placement
+(whose fabric round count is already log2(nodes)) the flat design holds
+its own — which is why the hierarchical variants are opt-in rather
+than the tuning default.
+"""
+
+from repro.hw.systems import make_system
+from repro.mpi import SUM, Communicator
+from repro.mpi.coll import MPICollDispatcher
+from repro.mpi.coll.hierarchical import node_comms
+from repro.sim.engine import Engine
+
+SIZES = (1024, 16384, 262144)
+ALGOS = ("recursive_doubling", "ring", "hierarchical")
+
+
+def _sweep():
+    cluster = make_system("thetagpu", 2)
+
+    def body(ctx):
+        out = {}
+        comms = {}
+        for algo in ALGOS:
+            comm = Communicator.world(ctx)
+            comm.coll = MPICollDispatcher(force=algo)
+            if algo == "hierarchical":
+                node_comms(comm)  # build sub-comms outside the timing
+            comms[algo] = comm
+        for size in SIZES:
+            count = size // 4
+            s = ctx.device.zeros(count)
+            r = ctx.device.zeros(count)
+            for algo, comm in comms.items():
+                comm.Barrier()
+                t0 = ctx.now
+                comm.Allreduce(s, r, SUM)
+                out[(algo, size)] = ctx.now - t0
+        return out
+
+    return Engine(cluster, nranks=16).run(body)[0]
+
+
+def test_flat_vs_hierarchical(benchmark):
+    out = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\n=== ablation: flat vs hierarchical allreduce "
+          "(2 nodes x 8 GPUs) ===")
+    print(f"{'size':>9} " + " ".join(f"{a:>20}" for a in ALGOS))
+    for size in SIZES:
+        print(f"{size:>9} " + " ".join(f"{out[(a, size)]:>20.2f}"
+                                       for a in ALGOS))
+    # the leader design must beat the cross-node ring at medium sizes
+    assert out[("hierarchical", 16384)] < out[("ring", 16384)]
+    # and must stay in the same league as the best flat algorithm
+    best_flat = min(out[("recursive_doubling", 16384)],
+                    out[("ring", 16384)])
+    assert out[("hierarchical", 16384)] < best_flat * 2.0

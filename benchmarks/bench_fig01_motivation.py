@@ -1,0 +1,10 @@
+"""Regenerate fig1 of the paper (see repro.experiments.fig1*).
+
+Run:  pytest benchmarks/bench_fig01_motivation.py --benchmark-only
+"""
+
+
+def test_fig1(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig1."""
+    results, rows = run_figure("fig1")
+    assert len(results) > 0

@@ -1,0 +1,10 @@
+"""Regenerate fig3 of the paper (see repro.experiments.fig3*).
+
+Run:  pytest benchmarks/bench_fig03_intra_pt2pt.py --benchmark-only
+"""
+
+
+def test_fig3(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig3."""
+    results, rows = run_figure("fig3")
+    assert len(results) > 0

@@ -1,0 +1,10 @@
+"""Regenerate fig4 of the paper (see repro.experiments.fig4*).
+
+Run:  pytest benchmarks/bench_fig04_inter_pt2pt.py --benchmark-only
+"""
+
+
+def test_fig4(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig4."""
+    results, rows = run_figure("fig4")
+    assert len(results) > 0

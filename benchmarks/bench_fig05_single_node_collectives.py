@@ -1,0 +1,10 @@
+"""Regenerate fig5 of the paper (see repro.experiments.fig5*).
+
+Run:  pytest benchmarks/bench_fig05_single_node_collectives.py --benchmark-only
+"""
+
+
+def test_fig5(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig5."""
+    results, rows = run_figure("fig5")
+    assert len(results) > 0

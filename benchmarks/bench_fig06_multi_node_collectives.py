@@ -1,0 +1,10 @@
+"""Regenerate fig6 of the paper (see repro.experiments.fig6*).
+
+Run:  pytest benchmarks/bench_fig06_multi_node_collectives.py --benchmark-only
+"""
+
+
+def test_fig6(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig6."""
+    results, rows = run_figure("fig6")
+    assert len(results) > 0

@@ -1,0 +1,10 @@
+"""Regenerate fig7 of the paper (see repro.experiments.fig7*).
+
+Run:  pytest benchmarks/bench_fig07_tf_nccl.py --benchmark-only
+"""
+
+
+def test_fig7(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig7."""
+    results, rows = run_figure("fig7")
+    assert len(results) > 0

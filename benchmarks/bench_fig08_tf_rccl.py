@@ -1,0 +1,10 @@
+"""Regenerate fig8 of the paper (see repro.experiments.fig8*).
+
+Run:  pytest benchmarks/bench_fig08_tf_rccl.py --benchmark-only
+"""
+
+
+def test_fig8(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig8."""
+    results, rows = run_figure("fig8")
+    assert len(results) > 0

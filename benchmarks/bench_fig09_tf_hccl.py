@@ -1,0 +1,10 @@
+"""Regenerate fig9 of the paper (see repro.experiments.fig9*).
+
+Run:  pytest benchmarks/bench_fig09_tf_hccl.py --benchmark-only
+"""
+
+
+def test_fig9(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig9."""
+    results, rows = run_figure("fig9")
+    assert len(results) > 0

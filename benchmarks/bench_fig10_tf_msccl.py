@@ -1,0 +1,10 @@
+"""Regenerate fig10 of the paper (see repro.experiments.fig10*).
+
+Run:  pytest benchmarks/bench_fig10_tf_msccl.py --benchmark-only
+"""
+
+
+def test_fig10(run_figure, benchmark):
+    """Full sweep + anchor comparison for fig10."""
+    results, rows = run_figure("fig10")
+    assert len(results) > 0

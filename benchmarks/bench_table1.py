@@ -1,0 +1,10 @@
+"""Regenerate table1 of the paper (see repro.experiments.table1*).
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+
+def test_table1(run_figure, benchmark):
+    """Full sweep + anchor comparison for table1."""
+    results, rows = run_figure("table1")
+    assert len(results) > 0

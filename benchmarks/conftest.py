@@ -1,0 +1,92 @@
+"""Shared benchmark plumbing.
+
+Every figure/table of the paper has one ``bench_*`` file here.  Each
+benchmark runs the corresponding experiment once under pytest-benchmark
+(wall time of the simulation is the benchmarked quantity), prints the
+figure's series the way the paper reports them, saves the full sweep to
+``benchmarks/results/<id>.csv``, and attaches the anchor comparisons to
+``benchmark.extra_info``.
+
+Scale comes from ``REPRO_BENCH_SCALE`` (``paper`` default, ``quick``
+for smoke runs).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_scale() -> str:
+    """Benchmark scale from the environment."""
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one registered experiment under the benchmark, report
+    anchors, and persist the results."""
+
+    def runner(exp_id: str):
+        from repro.experiments import get_experiment
+
+        exp = get_experiment(exp_id)
+        scale = bench_scale()
+        results = benchmark.pedantic(exp.run, args=(scale,),
+                                     rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        results.save(str(RESULTS_DIR / f"{exp_id}.csv"))
+        rows = exp.check_all(results) if scale == "paper" else []
+        for row in rows:
+            benchmark.extra_info[row["label"]] = (
+                f"paper={row['paper']:g} measured={row['measured']:g} "
+                f"({row['deviation']:+.1%})")
+        text = _summary_text(exp, results, rows)
+        print(text)
+        (RESULTS_DIR / f"{exp_id}.summary.txt").write_text(text,
+                                                           encoding="utf-8")
+        return results, rows
+
+    return runner
+
+
+def _summary_text(exp, results, rows) -> str:
+    lines = [f"\n=== {exp.id}: {exp.title} [{exp.paper_ref}] ==="]
+    for series in results.series_names():
+        sub = results.series(series)
+        xs = [r.x for r in sub]
+        vs = [r.value for r in sub]
+        if not xs:
+            continue
+        unit = sub[0].unit
+        lines.append(f"  {series:34s} {len(xs):3d} pts  "
+                     f"[{min(vs):>12.2f} .. {max(vs):>12.2f}] {unit}")
+    plot = _maybe_plot(exp, results)
+    if plot:
+        lines.append(plot)
+    for row in rows:
+        mark = "ok " if row["passed"] else "DEV"
+        lines.append(f"  [{mark}] {row['label']}: paper {row['paper']:g} "
+                     f"vs measured {row['measured']:g} "
+                     f"({row['deviation']:+.1%})")
+    return "\n".join(lines)
+
+
+def _maybe_plot(exp, results):
+    """Log-log terminal chart of the first sweep panel (when the
+    results look like a size sweep with few series)."""
+    from repro.util.asciiplot import plot_result_set
+
+    experiments = sorted({r.experiment for r in results})
+    first = results.filter(lambda r: r.experiment == experiments[0])
+    names = first.series_names()
+    if len(first.xs()) < 4 or not 1 < len(names) <= 6:
+        return None
+    try:
+        return plot_result_set(first, title=f"  [{experiments[0]}]")
+    except ValueError:
+        return None

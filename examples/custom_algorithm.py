@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Authoring a custom collective (MSCCL's programmability, §2.1).
+
+MSCCL's pitch is that collective algorithms are *programs*: you write
+a per-rank schedule of chunk sends/receives/reductions, and the
+runtime executes it through the same group machinery as everything
+else.  This example:
+
+1. runs the shipped allpairs-allreduce schedule (2 fused phases) and
+   the ring schedule (2(p-1) phases) on the same data, validating both
+   against the built-in fused allreduce;
+2. authors a brand-new schedule inline — a "reduce-broadcast star"
+   (everyone reduces into rank 0, rank 0 broadcasts back) — and shows
+   where it wins and loses;
+3. prints the virtual-time cost of each, making the algorithm
+   trade-offs visible.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro.hw.systems import make_system
+from repro.mpi import FLOAT, SUM
+from repro.sim.engine import Engine
+from repro.xccl import api as xapi
+from repro.xccl.msccl_ir import Schedule, Step, allpairs_allreduce, execute, ring_allreduce
+
+P = 8
+COUNT = P * 512  # 16 KB of floats
+
+
+def star_allreduce(nranks: int) -> Schedule:
+    """A hand-written schedule: reduce-to-root then broadcast.
+
+    Latency-light for tiny payloads (2 phases like allpairs) but the
+    root's port serializes all traffic — the classic star bottleneck.
+    """
+    sched = Schedule("star_allreduce", "allreduce", nranks, 1)
+    for r in range(nranks):
+        steps = []
+        if r == 0:
+            for peer in range(1, nranks):
+                steps.append(Step("recv_reduce", peer=peer, dst_chunk=0,
+                                  phase=0))
+            for peer in range(1, nranks):
+                steps.append(Step("send", peer=peer, src_chunk=0, phase=1))
+        else:
+            steps.append(Step("send", peer=0, src_chunk=0, phase=0))
+            steps.append(Step("recv", peer=0, dst_chunk=0, phase=1))
+        sched.steps[r] = steps
+    sched.validate()
+    return sched
+
+
+def body(ctx):
+    uid = xapi.xcclGetUniqueId(ctx, ctx.size, "custom")
+    comm = xapi.xcclCommInitRank(ctx, list(range(ctx.size)), ctx.rank, uid,
+                                 "msccl")
+    expect = sum(float(r + 1) for r in range(ctx.size))
+    times = {}
+
+    # built-in fused allreduce as the baseline
+    buf = ctx.device.zeros(COUNT)
+    buf.fill(float(ctx.rank + 1))
+    t0 = ctx.now
+    xapi.xcclAllReduce(None, buf, COUNT, FLOAT, SUM, comm)
+    xapi.xcclStreamSynchronize(comm)
+    times["built-in (fused)"] = ctx.now - t0
+    assert np.allclose(buf.array, expect)
+
+    for schedule in (allpairs_allreduce(ctx.size), ring_allreduce(ctx.size),
+                     star_allreduce(ctx.size)):
+        buf = ctx.device.zeros(COUNT)
+        buf.fill(float(ctx.rank + 1))
+        t0 = ctx.now
+        execute(schedule, comm, buf, COUNT, FLOAT, SUM)
+        times[schedule.name] = ctx.now - t0
+        assert np.allclose(buf.array, expect), schedule.name
+    return times
+
+
+def main() -> None:
+    cluster = make_system("thetagpu", 1)
+    times = Engine(cluster, nranks=P).run(body)[0]
+    print(f"allreduce of {COUNT * 4 // 1024} KB on {P} GPUs "
+          f"(virtual us, all produce identical results):\n")
+    for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+        print(f"  {name:22s} {t:9.1f} us")
+    print("\nSame data, same wires, same launch overheads — only the")
+    print("schedule differs.  That's the MSCCL programmability story:")
+    print("algorithms are data, and the runtime executes whichever wins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Distributed 3-D FFT in the heFFTe style: the datatype-fallback story.
+
+§3.2 of the paper singles out FFT applications: they communicate
+``MPI_DOUBLE_COMPLEX``, which **no** vendor CCL implements — so a
+naive "always use NCCL" integration would simply break them.  MPI-xCCL
+instead detects the unsupported datatype and transparently runs those
+calls on the traditional MPI path, while the same application's float
+traffic still rides the CCL.
+
+This example performs a real pencil-decomposed 3-D FFT:
+
+1. each rank holds a slab of a 3-D array (complex128, device memory),
+2. FFT along the local axes (numpy, on-device cost model),
+3. a global transpose via ``MPI_Alltoall`` — double complex, so the
+   abstraction layer falls back to MPI (watch the route stats),
+4. FFT along the remaining axis,
+5. the result is validated against a single-node numpy FFT.
+
+Run:  python examples/heffte_fft.py
+"""
+
+import numpy as np
+
+from repro.core import run
+from repro.mpi import DOUBLE_COMPLEX
+
+
+N = 32  # global grid: N^3, slab-decomposed along z
+
+
+def fft3d_distributed(mpx, global_field):
+    """Pencil FFT of ``global_field`` (replicated input for checking)."""
+    comm = mpx.COMM_WORLD
+    p, rank = mpx.size, mpx.rank
+    assert N % p == 0, "grid must divide evenly for this example"
+    slab = N // p
+
+    # local slab: z in [rank*slab, (rank+1)*slab)
+    local = np.ascontiguousarray(global_field[:, :, rank * slab:(rank + 1) * slab])
+
+    # FFT along x and y (local axes); charge device compute
+    local = np.fft.fft(local, axis=0)
+    local = np.fft.fft(local, axis=1)
+    mpx.ctx.clock.advance(mpx.device.kernel_time_us(2 * local.nbytes))
+
+    # global transpose: z-slabs -> x-slabs via alltoall of blocks.
+    # blocks[d] = the part of my slab destined to rank d
+    send = np.empty((p, slab, N, slab), dtype=np.complex128)
+    for d in range(p):
+        send[d] = local[d * slab:(d + 1) * slab, :, :]
+    sendbuf = mpx.device.from_numpy(send.reshape(-1))
+    recvbuf = mpx.device.empty(send.size, dtype=np.complex128)
+    comm.Alltoall(sendbuf, recvbuf, count=send.size // p,
+                  datatype=DOUBLE_COMPLEX)
+
+    # reassemble: now I hold x in [rank*slab,(rank+1)*slab), full z
+    recv = recvbuf.array.reshape(p, slab, N, slab)
+    mine = np.concatenate([recv[s] for s in range(p)], axis=2)
+
+    # FFT along z (now local)
+    mine = np.fft.fft(mine, axis=2)
+    mpx.ctx.clock.advance(mpx.device.kernel_time_us(mine.nbytes))
+    return mine
+
+
+def application(mpx):
+    rng = np.random.default_rng(7)
+    field = rng.standard_normal((N, N, N)) + 1j * rng.standard_normal((N, N, N))
+
+    mine = fft3d_distributed(mpx, field)
+
+    # validate against the reference FFT
+    reference = np.fft.fftn(field)
+    slab = N // mpx.size
+    expected = reference[mpx.rank * slab:(mpx.rank + 1) * slab, :, :]
+    assert np.allclose(mine, expected, atol=1e-8), "FFT mismatch"
+
+    stats = mpx.route_stats
+    dc_fallbacks = sum(n for (coll, reason), n in stats.fallbacks.items()
+                       if reason.value == "datatype")
+    return (mpx.rank, dc_fallbacks, round(mpx.now / 1000, 2))
+
+
+def main() -> None:
+    results = run(application, system="thetagpu", nodes=1, nranks=8)
+    print("rank  datatype-fallbacks  virtual-ms")
+    for rank, fallbacks, ms in results:
+        print(f"{rank:4d}  {fallbacks:18d}  {ms:10.2f}")
+    print("\nEvery Alltoall fell back to MPI (DOUBLE_COMPLEX has no CCL")
+    print("mapping) — and the FFT still validated bit-for-bit: the")
+    print("application never had to know.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: your MPI program, every accelerator, one runtime.
+
+The paper's promise in one file: an unmodified MPI application runs on
+NVIDIA (NCCL), AMD (RCCL), and Habana (HCCL) systems, and the MPI-xCCL
+runtime transparently routes each collective to whichever of
+{traditional MPI algorithms, vendor CCL} is faster for its message
+size — with automatic fallback when the CCL can't handle a datatype.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import run
+from repro.mpi import SUM
+
+
+def application(mpx):
+    """A standard MPI program: no vendor API anywhere."""
+    comm = mpx.COMM_WORLD
+
+    # small allreduce: the tuning table routes this to the MPI
+    # algorithms (latency-optimal below the crossover)
+    small = mpx.device_array(64, fill=float(mpx.rank + 1))
+    small_out = mpx.device_array(64)
+    comm.Allreduce(small, small_out, SUM)
+    expected = sum(r + 1 for r in range(mpx.size))
+    assert np.allclose(small_out.array, expected)
+
+    # large allreduce: routed to the vendor CCL (bandwidth-optimal)
+    large = mpx.device_array(1 << 20, fill=1.0)        # 4 MB
+    large_out = mpx.device_array(1 << 20)
+    comm.Allreduce(large, large_out, SUM)
+    assert np.allclose(large_out.array, mpx.size)
+
+    # double complex: no CCL supports it -> silent MPI fallback
+    # (the heFFTe scenario from §3.2 of the paper)
+    z = mpx.device_array(4096, dtype=np.complex128, fill=1 + 2j)
+    z_out = mpx.device_array(4096, dtype=np.complex128)
+    comm.Allreduce(z, z_out, SUM)
+    assert np.allclose(z_out.array, mpx.size * (1 + 2j))
+
+    stats = mpx.route_stats
+    return (f"rank {mpx.rank}: backend={mpx.layer.backend_name} "
+            f"xccl_calls={stats.xccl_calls} mpi_calls={stats.mpi_calls} "
+            f"fallbacks={stats.total_fallbacks} "
+            f"t={mpx.now / 1000:.2f} ms")
+
+
+def main() -> None:
+    for system, nodes in (("thetagpu", 1), ("mri", 1), ("voyager", 1)):
+        print(f"=== {system} ({nodes} node) ===")
+        for line in run(application, system=system, nodes=nodes)[:2]:
+            print(" ", line)
+        print("  (same application code, different vendor CCL underneath)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Comparison baselines from the paper's evaluation.
+
+* ``Open MPI + UCX`` — the plain GPU-aware MPI baseline
+  (:func:`repro.mpi.config.openmpi_ucx` personality);
+* ``Open MPI + UCX + UCC`` — the UCC collective layer
+  (:mod:`repro.baselines.ucc`);
+* ``Pure NCCL/RCCL/HCCL/MSCCL`` — the vendor library called directly,
+  no MPI wrapper (:mod:`repro.baselines.pure_ccl`; OMB's "dashed
+  lines").
+"""
+
+from repro.baselines.ucc import UCCBackend, ucc_communicator, UCC_TABLE
+from repro.baselines.pure_ccl import PureCCLHarness
+from repro.baselines.openmpi import openmpi_communicator
+
+__all__ = [
+    "UCCBackend",
+    "ucc_communicator",
+    "UCC_TABLE",
+    "PureCCLHarness",
+    "openmpi_communicator",
+]

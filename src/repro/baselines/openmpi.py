@@ -1,0 +1,18 @@
+"""Open MPI + UCX baseline.
+
+The paper's plain GPU-aware MPI comparator: the same collective
+algorithm suite, driven by the heavier Open MPI + UCX software
+constants (:func:`repro.mpi.config.openmpi_ucx`).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.config import openmpi_ucx
+from repro.sim.engine import RankContext
+
+
+def openmpi_communicator(ctx: RankContext) -> Communicator:
+    """A world communicator with the Open MPI + UCX personality and
+    the plain MPI dispatcher (no CCL integration)."""
+    return Communicator.world(ctx, openmpi_ucx())

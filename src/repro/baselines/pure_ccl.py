@@ -1,0 +1,121 @@
+"""Pure-CCL harness: the vendor library without any MPI wrapper.
+
+OMB's NCCL benchmarks produce the paper's dashed "Pure NCCL/MSCCL"
+lines; this harness is their analogue: collectives issued straight
+through the ``xccl*`` API, with only a CCL-level synchronization
+between iterations (no MPI middleware anywhere on the path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mpi.datatypes import FLOAT, Datatype
+from repro.mpi.ops import SUM, Op
+from repro.sim.engine import RankContext
+from repro.xccl import api as xapi
+from repro.xccl.comm import XCCLComm
+
+
+class PureCCLHarness:
+    """Per-rank handle for direct CCL benchmarking.
+
+    Args:
+        ctx: the rank's engine context.
+        backend: CCL backend name (must be able to drive the local
+            accelerator's vendor).
+    """
+
+    def __init__(self, ctx: RankContext, backend: str) -> None:
+        self.ctx = ctx
+        uid = xapi.xcclGetUniqueId(ctx, ctx.size, ("pure", backend))
+        self.comm: XCCLComm = xapi.xcclCommInitRank(
+            ctx, list(range(ctx.size)), ctx.rank, uid, backend)
+
+    @property
+    def size(self) -> int:
+        """Job size."""
+        return self.comm.size
+
+    @property
+    def rank(self) -> int:
+        """This rank."""
+        return self.comm.rank
+
+    def sync(self) -> None:
+        """CCL-level barrier: a 1-element allreduce + stream join
+        (how OMB's NCCL benchmarks align iterations)."""
+        one = self.ctx.device.zeros(1)
+        xapi.xcclAllReduce(one, one, 1, FLOAT, SUM, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    # -- collectives ---------------------------------------------------------
+
+    def allreduce(self, sendbuf, recvbuf, count: int,
+                  dt: Datatype = FLOAT, op: Op = SUM) -> None:
+        """Direct ``xcclAllReduce`` + stream sync."""
+        xapi.xcclAllReduce(sendbuf, recvbuf, count, dt, op, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def reduce(self, sendbuf, recvbuf, count: int, root: int = 0,
+               dt: Datatype = FLOAT, op: Op = SUM) -> None:
+        """Direct ``xcclReduce`` + stream sync."""
+        xapi.xcclReduce(sendbuf, recvbuf, count, dt, op, root, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def bcast(self, buf, count: int, root: int = 0,
+              dt: Datatype = FLOAT) -> None:
+        """Direct ``xcclBroadcast`` + stream sync."""
+        xapi.xcclBroadcast(buf, count, dt, root, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def allgather(self, sendbuf, recvbuf, count: int,
+                  dt: Datatype = FLOAT) -> None:
+        """Direct ``xcclAllGather`` + stream sync."""
+        xapi.xcclAllGather(sendbuf, recvbuf, count, dt, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def alltoall(self, sendbuf, recvbuf, count: int,
+                 dt: Datatype = FLOAT) -> None:
+        """Grouped send/recv alltoall, as a user would hand-write it
+        with the raw CCL API (§3.3's motivation)."""
+        p = self.comm.size
+        xapi.xcclGroupStart()
+        for r in range(p):
+            xapi.xcclSend(_seg(sendbuf, r * count, count), count, dt, r,
+                          self.comm)
+            xapi.xcclRecv(_seg(recvbuf, r * count, count), count, dt, r,
+                          self.comm)
+        xapi.xcclGroupEnd()
+        xapi.xcclStreamSynchronize(self.comm)
+
+    # -- point-to-point -------------------------------------------------------
+
+    def send(self, buf, count: int, peer: int, dt: Datatype = FLOAT) -> None:
+        """Direct ``xcclSend`` (immediate group of one)."""
+        xapi.xcclSend(buf, count, dt, peer, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def recv(self, buf, count: int, peer: int, dt: Datatype = FLOAT) -> None:
+        """Direct ``xcclRecv``."""
+        xapi.xcclRecv(buf, count, dt, peer, self.comm)
+        xapi.xcclStreamSynchronize(self.comm)
+
+    def sendrecv(self, sendbuf, recvbuf, count: int, peer: int,
+                 dt: Datatype = FLOAT) -> None:
+        """Fused bidirectional exchange (one group)."""
+        xapi.xcclGroupStart()
+        xapi.xcclSend(sendbuf, count, dt, peer, self.comm)
+        xapi.xcclRecv(recvbuf, count, dt, peer, self.comm)
+        xapi.xcclGroupEnd()
+        xapi.xcclStreamSynchronize(self.comm)
+
+
+def _seg(buf, offset: int, count: int):
+    from repro.hw.memory import Buffer, as_array
+    if isinstance(buf, Buffer):
+        return buf.view(offset, count)
+    return as_array(buf)[offset:offset + count]

@@ -1,0 +1,199 @@
+"""The hybrid dispatcher: MPI-xCCL's runtime brain (§3.4).
+
+A drop-in replacement for the communicator's default
+:class:`~repro.mpi.coll.MPICollDispatcher`.  For every collective call
+it runs the Fig. 2 decision chain:
+
+1. mode check (pure-MPI pins everything to the MPI algorithms;
+   pure-xCCL skips the tuning table);
+2. device-buffer identification — CCLs cannot touch host memory;
+3. datatype and reduce-op capability checks against the backend
+   (automatic MPI fallback, §1.2 advantage 3);
+4. hybrid tuning-table lookup — MPI below the crossover, xCCL above;
+5. execute; a CCL runtime error also falls back to MPI.
+
+Scan/exscan and the barrier have no CCL mapping and always run on MPI.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import CCLError
+from repro.core.abstraction import XCCLAbstractionLayer
+from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
+from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
+from repro.mpi.coll import MPICollDispatcher
+from repro.mpi.communicator import IN_PLACE
+
+
+class DispatchMode(enum.Enum):
+    """Routing policy."""
+
+    HYBRID = "hybrid"        # tuning table decides (the paper's design)
+    PURE_XCCL = "pure_xccl"  # always CCL when capable ("Proposed xCCL w/ Pure ...")
+    PURE_MPI = "pure_mpi"    # never CCL (the traditional-MPI baseline)
+
+
+class HybridDispatcher(MPICollDispatcher):
+    """Routes collectives between the MPI algorithms and the xCCL layer."""
+
+    name = "mpi-xccl"
+
+    def __init__(self, layer: XCCLAbstractionLayer,
+                 mode: DispatchMode = DispatchMode.HYBRID,
+                 table: Optional[TuningTable] = None) -> None:
+        super().__init__()
+        self.layer = layer
+        self.mode = mode
+        self._table = table
+        self.stats = RouteStats()
+
+    # -- decision chain -----------------------------------------------------
+
+    def _table_for(self, comm) -> TuningTable:
+        if self._table is not None:
+            return self._table
+        from repro.perfmodel.shape import shape_of
+        shape = shape_of(comm.ctx.cluster, comm.group,
+                         comm.ctx.engine.ranks_per_node)
+        assert self.layer.backend is not None
+        return cached_table(shape, self.layer.backend.params, comm.config)
+
+    def decide(self, comm, coll: str, nbytes: int, dt=None, op=None,
+               *buffers) -> RouteDecision:
+        """The routing decision for one call (exposed for tests)."""
+        if self.mode == DispatchMode.PURE_MPI:
+            return RouteDecision(Route.MPI, FallbackReason.MODE)
+        if not self.layer.available:
+            return RouteDecision(Route.MPI, FallbackReason.NO_BACKEND)
+        if coll not in TUNABLE_COLLECTIVES:
+            return RouteDecision(Route.MPI, FallbackReason.UNSUPPORTED_COLL)
+        significant = [b for b in buffers if b is not None and b is not IN_PLACE]
+        if significant and not self.layer.identify_device_buffer(*significant):
+            return RouteDecision(Route.MPI, FallbackReason.HOST_BUFFER)
+        if dt is not None and not self.layer.supports_datatype(dt):
+            return RouteDecision(Route.MPI, FallbackReason.DATATYPE)
+        if op is not None and not self.layer.supports_op(op):
+            return RouteDecision(Route.MPI, FallbackReason.REDUCE_OP)
+        if self.mode == DispatchMode.PURE_XCCL:
+            return RouteDecision(Route.XCCL)
+        route = self._table_for(comm).choose(coll, nbytes)
+        if route == "xccl":
+            return RouteDecision(Route.XCCL)
+        return RouteDecision(Route.MPI, FallbackReason.TUNING)
+
+    def _run(self, comm, coll: str, nbytes: int, dt, op, buffers,
+             ccl_call, mpi_call) -> None:
+        decision = self.decide(comm, coll, nbytes, dt, op, *buffers)
+        if decision.route == Route.XCCL:
+            try:
+                ccl_call()
+                self.stats.record(decision, coll)
+                return
+            except CCLError:
+                decision = RouteDecision(Route.MPI, FallbackReason.CCL_ERROR)
+        mpi_call()
+        self.stats.record(decision, coll)
+
+    # -- dispatched collectives -------------------------------------------------
+
+    def bcast(self, comm, buf, count, dt, root) -> None:
+        self._run(comm, "bcast", count * dt.itemsize, dt, None, (buf,),
+                  lambda: self.layer.bcast(comm, buf, count, dt, root),
+                  lambda: super(HybridDispatcher, self).bcast(
+                      comm, buf, count, dt, root))
+
+    def reduce(self, comm, sendbuf, recvbuf, count, dt, op, root) -> None:
+        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
+        self._run(comm, "reduce", count * dt.itemsize, dt, op, bufs,
+                  lambda: self.layer.reduce(comm, sendbuf, recvbuf, count,
+                                            dt, op, root),
+                  lambda: super(HybridDispatcher, self).reduce(
+                      comm, sendbuf, recvbuf, count, dt, op, root))
+
+    def allreduce(self, comm, sendbuf, recvbuf, count, dt, op) -> None:
+        self._run(comm, "allreduce", count * dt.itemsize, dt, op,
+                  (sendbuf, recvbuf),
+                  lambda: self.layer.allreduce(comm, sendbuf, recvbuf,
+                                               count, dt, op),
+                  lambda: super(HybridDispatcher, self).allreduce(
+                      comm, sendbuf, recvbuf, count, dt, op))
+
+    def allgather(self, comm, sendbuf, recvbuf, count, dt) -> None:
+        self._run(comm, "allgather", count * dt.itemsize, dt, None,
+                  (sendbuf, recvbuf),
+                  lambda: self.layer.allgather(comm, sendbuf, recvbuf,
+                                               count, dt),
+                  lambda: super(HybridDispatcher, self).allgather(
+                      comm, sendbuf, recvbuf, count, dt))
+
+    def allgatherv(self, comm, sendbuf, recvbuf, counts, displs, dt) -> None:
+        nbytes = max(counts) * dt.itemsize if counts else 0
+        self._run(comm, "allgather", nbytes, dt, None, (sendbuf, recvbuf),
+                  lambda: self.layer.allgatherv(comm, sendbuf, recvbuf,
+                                                counts, displs, dt),
+                  lambda: super(HybridDispatcher, self).allgatherv(
+                      comm, sendbuf, recvbuf, counts, displs, dt))
+
+    def alltoall(self, comm, sendbuf, recvbuf, count, dt) -> None:
+        self._run(comm, "alltoall", count * dt.itemsize, dt, None,
+                  (sendbuf, recvbuf),
+                  lambda: self.layer.alltoall(comm, sendbuf, recvbuf,
+                                              count, dt),
+                  lambda: super(HybridDispatcher, self).alltoall(
+                      comm, sendbuf, recvbuf, count, dt))
+
+    def alltoallv(self, comm, sendbuf, sendcounts, sdispls,
+                  recvbuf, recvcounts, rdispls, dt) -> None:
+        nbytes = max(sendcounts) * dt.itemsize if sendcounts else 0
+        self._run(comm, "alltoall", nbytes, dt, None, (sendbuf, recvbuf),
+                  lambda: self.layer.alltoallv(comm, sendbuf, sendcounts,
+                                               sdispls, recvbuf, recvcounts,
+                                               rdispls, dt),
+                  lambda: super(HybridDispatcher, self).alltoallv(
+                      comm, sendbuf, sendcounts, sdispls, recvbuf,
+                      recvcounts, rdispls, dt))
+
+    def gather(self, comm, sendbuf, recvbuf, count, dt, root) -> None:
+        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
+        self._run(comm, "gather", count * dt.itemsize, dt, None, bufs,
+                  lambda: self.layer.gather(comm, sendbuf, recvbuf, count,
+                                            dt, root),
+                  lambda: super(HybridDispatcher, self).gather(
+                      comm, sendbuf, recvbuf, count, dt, root))
+
+    def gatherv(self, comm, sendbuf, recvbuf, counts, displs, dt, root) -> None:
+        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
+        nbytes = max(counts) * dt.itemsize if counts else 0
+        self._run(comm, "gather", nbytes, dt, None, bufs,
+                  lambda: self.layer.gatherv(comm, sendbuf, recvbuf, counts,
+                                             displs, dt, root),
+                  lambda: super(HybridDispatcher, self).gatherv(
+                      comm, sendbuf, recvbuf, counts, displs, dt, root))
+
+    def scatter(self, comm, sendbuf, recvbuf, count, dt, root) -> None:
+        bufs = (sendbuf, recvbuf) if comm.rank == root else (recvbuf,)
+        self._run(comm, "scatter", count * dt.itemsize, dt, None, bufs,
+                  lambda: self.layer.scatter(comm, sendbuf, recvbuf, count,
+                                             dt, root),
+                  lambda: super(HybridDispatcher, self).scatter(
+                      comm, sendbuf, recvbuf, count, dt, root))
+
+    def scatterv(self, comm, sendbuf, counts, displs, recvbuf, dt, root) -> None:
+        bufs = (sendbuf, recvbuf) if comm.rank == root else (recvbuf,)
+        nbytes = max(counts) * dt.itemsize if counts else 0
+        self._run(comm, "scatter", nbytes, dt, None, bufs,
+                  lambda: self.layer.scatterv(comm, sendbuf, counts, displs,
+                                              recvbuf, dt, root),
+                  lambda: super(HybridDispatcher, self).scatterv(
+                      comm, sendbuf, counts, displs, recvbuf, dt, root))
+
+    def reduce_scatter_block(self, comm, sendbuf, recvbuf, count, dt, op) -> None:
+        self._run(comm, "reduce_scatter", count * dt.itemsize, dt, op,
+                  (sendbuf, recvbuf),
+                  lambda: self.layer.reduce_scatter_block(
+                      comm, sendbuf, recvbuf, count, dt, op),
+                  lambda: super(HybridDispatcher, self).reduce_scatter_block(
+                      comm, sendbuf, recvbuf, count, dt, op))

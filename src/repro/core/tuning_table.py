@@ -1,0 +1,151 @@
+"""Hybrid tuning tables (§3.4).
+
+"In this work, we tune the tuning tables offline, and during runtime,
+the hybrid designs select the most optimal solution from the tuning
+tables."  :func:`tune_offline` is that offline pass: it sweeps the
+closed-form MPI and CCL cost models over message sizes for one
+(system, communicator shape, backend) and compresses the winners into
+size-threshold entries.  At runtime :meth:`TuningTable.choose` is an
+O(#thresholds) lookup.
+
+Tables serialize to/from plain dicts (JSON-safe) so a site can ship
+pre-tuned tables, and a process-level cache avoids re-tuning identical
+shapes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TuningTableError
+from repro.mpi.config import MPIConfig
+from repro.perfmodel import ccl_models, mpi_models
+from repro.perfmodel.params import CCLParams
+from repro.perfmodel.shape import CommShape
+from repro.util.sizes import DEFAULT_OMB_SIZES
+
+#: collectives the hybrid layer can route either way.
+TUNABLE_COLLECTIVES = (
+    "allreduce", "bcast", "reduce", "allgather", "alltoall",
+    "reduce_scatter", "gather", "scatter",
+)
+
+
+@dataclass
+class TuningTable:
+    """Size-threshold routing table for one (system, shape, backend).
+
+    ``entries[coll]`` is an ascending list of ``(max_bytes, route)``
+    pairs; the last pair's ``max_bytes`` is ``-1`` (no upper bound).
+    """
+
+    backend: str
+    shape_key: Tuple
+    entries: Dict[str, List[Tuple[int, str]]] = field(default_factory=dict)
+
+    def choose(self, coll: str, nbytes: int) -> str:
+        """Route (``"mpi"`` or ``"xccl"``) for one call."""
+        try:
+            thresholds = self.entries[coll]
+        except KeyError:
+            raise TuningTableError(f"no tuning entry for {coll!r}") from None
+        for max_bytes, route in thresholds:
+            if max_bytes < 0 or nbytes <= max_bytes:
+                return route
+        raise TuningTableError(f"malformed thresholds for {coll!r}: {thresholds}")
+
+    def crossover(self, coll: str) -> Optional[int]:
+        """First byte count routed to xccl (None if never)."""
+        prev_max = 0
+        for max_bytes, route in self.entries.get(coll, []):
+            if route == "xccl":
+                return prev_max + 1
+            prev_max = max_bytes
+        return None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation."""
+        return {
+            "backend": self.backend,
+            "shape_key": list(self.shape_key),
+            "entries": {c: [[m, r] for m, r in th]
+                        for c, th in self.entries.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TuningTable":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            entries = {c: [(int(m), str(r)) for m, r in th]
+                       for c, th in data["entries"].items()}
+            return cls(backend=data["backend"],
+                       shape_key=tuple(data["shape_key"]),
+                       entries=entries)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuningTableError(f"malformed tuning table: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Serialize to JSON text."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningTable":
+        """Parse from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+
+def _compress(points: Sequence[Tuple[int, str]]) -> List[Tuple[int, str]]:
+    """Collapse per-size winners into threshold runs."""
+    if not points:
+        raise TuningTableError("no sweep points")
+    out: List[Tuple[int, str]] = []
+    for size, route in points:
+        if out and out[-1][1] == route:
+            out[-1] = (size, route)
+        else:
+            out.append((size, route))
+    out[-1] = (-1, out[-1][1])
+    return out
+
+
+def tune_offline(shape: CommShape, ccl: CCLParams, mpi_config: MPIConfig,
+                 collectives: Sequence[str] = TUNABLE_COLLECTIVES,
+                 sizes: Sequence[int] = tuple(DEFAULT_OMB_SIZES),
+                 hysteresis: float = 1.0) -> TuningTable:
+    """Build a tuning table by sweeping the cost models.
+
+    ``hysteresis`` > 1 biases toward MPI: the CCL must win by that
+    factor to take a size class (avoids flapping where the curves
+    cross shallowly).
+    """
+    shape_key = (shape.p, shape.nodes, shape.ppn, shape.intra.kind.value,
+                 shape.inter.kind.value if shape.inter else None)
+    table = TuningTable(backend=ccl.name, shape_key=shape_key)
+    for coll in collectives:
+        points: List[Tuple[int, str]] = []
+        for size in sizes:
+            t_mpi = mpi_models.collective_time(mpi_config, shape, coll, size)
+            t_ccl = ccl_models.collective_time(ccl, shape, coll, size)
+            points.append((size, "xccl" if t_ccl * hysteresis < t_mpi else "mpi"))
+        table.entries[coll] = _compress(points)
+    return table
+
+
+_cache: Dict[Tuple, TuningTable] = {}
+
+
+def cached_table(shape: CommShape, ccl: CCLParams,
+                 mpi_config: MPIConfig) -> TuningTable:
+    """Process-wide memoized :func:`tune_offline`."""
+    key = (ccl.name, mpi_config.name, shape.p, shape.nodes, shape.ppn,
+           shape.intra.kind.value,
+           shape.inter.kind.value if shape.inter else None)
+    table = _cache.get(key)
+    if table is None:
+        table = tune_offline(shape, ccl, mpi_config)
+        _cache[key] = table
+    return table

@@ -1,0 +1,99 @@
+"""Per-accelerator compute-time model for training steps.
+
+Each accelerator gets a calibrated single-device training rate
+(images/second as a function of per-device batch size), expressed as a
+peak rate times a batch-efficiency curve — small batches under-utilize
+the device.  Rates are calibrated so the paper's §4.4 throughput
+anchors land once our measured communication time is added (see
+EXPERIMENTS.md for the derivations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.hw.device import Accelerator
+from repro.hw.vendors import Vendor
+from repro.dl.models import ModelSpec
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Training compute rate of one accelerator.
+
+    Attributes:
+        name: device label.
+        peak_img_per_sec: ResNet-50-equivalent rate at large batch.
+        batch_eff: batch-size -> efficiency in (0, 1]; intermediate
+            batches are log-interpolated; batches beyond the largest
+            key use its efficiency.
+        reference_flops_per_image: the model the peak was calibrated on
+            (other models scale by their FLOP ratio).
+    """
+
+    name: str
+    peak_img_per_sec: float
+    batch_eff: Tuple[Tuple[int, float], ...]
+    reference_flops_per_image: float = 3.0 * 4.1e9
+
+    def efficiency(self, batch: int) -> float:
+        """Utilization at ``batch`` images per device."""
+        if batch <= 0:
+            raise ConfigError(f"batch must be positive, got {batch}")
+        points = sorted(self.batch_eff)
+        if batch <= points[0][0]:
+            return points[0][1]
+        for (b0, e0), (b1, e1) in zip(points, points[1:]):
+            if batch <= b1:
+                # log-linear interpolation between calibration points
+                import math
+                frac = (math.log(batch) - math.log(b0)) / (math.log(b1) - math.log(b0))
+                return e0 + (e1 - e0) * frac
+        return points[-1][1]
+
+    def step_time_us(self, model: ModelSpec, batch: int) -> float:
+        """Forward+backward time for one local step (microseconds)."""
+        rate = self.peak_img_per_sec * self.efficiency(batch)
+        scale = model.flops_per_image / self.reference_flops_per_image
+        return batch / rate * scale * 1e6
+
+    def backward_time_us(self, model: ModelSpec, batch: int) -> float:
+        """The backward-pass share (~2/3), the window communication can
+        overlap with."""
+        return self.step_time_us(model, batch) * (2.0 / 3.0)
+
+
+#: Calibrated per-device models (ResNet-50 fp32/TF32 mixed regime, as
+#: the paper's TensorFlow stack would run it).
+_MODELS: Dict[Vendor, ComputeModel] = {
+    Vendor.NVIDIA: ComputeModel(
+        name="A100",
+        peak_img_per_sec=800.0,
+        batch_eff=((16, 0.70), (32, 0.81), (64, 0.93), (128, 1.0)),
+    ),
+    Vendor.AMD: ComputeModel(
+        name="MI100",
+        peak_img_per_sec=420.0,
+        batch_eff=((16, 0.72), (32, 0.84), (64, 0.95), (128, 1.0)),
+    ),
+    Vendor.HABANA: ComputeModel(
+        name="Gaudi",
+        peak_img_per_sec=663.0,
+        batch_eff=((16, 0.70), (32, 0.82), (64, 0.93), (128, 1.0)),
+    ),
+    Vendor.INTEL: ComputeModel(
+        name="Max1550",
+        peak_img_per_sec=1100.0,   # extension system, no paper anchor
+        batch_eff=((16, 0.68), (32, 0.80), (64, 0.92), (128, 1.0)),
+    ),
+}
+
+
+def compute_model_for(device: Accelerator) -> ComputeModel:
+    """The calibrated compute model of a device's vendor."""
+    try:
+        return _MODELS[device.vendor]
+    except KeyError:
+        raise ConfigError(f"no compute model for vendor {device.vendor}") from None

@@ -1,0 +1,139 @@
+"""The synthetic trainer: images/second under a communication stack.
+
+Two evaluation paths share one step-time composition
+(``step = compute + cycle/penalized-comm exposed after overlap``):
+
+* :func:`train` runs real allreduces through the engine — used for the
+  paper's 1-16-node configurations;
+* :func:`project_throughput` prices communication with the closed-form
+  models — used for the 128-GPU Fig 7b point (and any what-if scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dl.compute import ComputeModel, compute_model_for
+from repro.dl.horovod import DistributedOptimizer, HorovodConfig, build_buckets
+from repro.dl.models import ModelSpec, resnet50
+from repro.dl.presets import horovod_preset
+from repro.errors import ConfigError
+from repro.mpi.config import MPIConfig, mvapich_gpu, openmpi_ucx
+from repro.perfmodel import ccl_models, mpi_models, ccl_params
+from repro.perfmodel.shape import CommShape
+from repro.sim.engine import RankContext
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """Throughput summary of one training run."""
+
+    model: str
+    batch_per_device: int
+    world_size: int
+    steps: int
+    img_per_sec: float
+    step_time_us: float
+    comm_time_us: float       # raw comm per step (before overlap)
+
+
+def train(ctx: RankContext, stack, model: Optional[ModelSpec] = None,
+          batch_per_device: int = 32, steps: int = 5,
+          config: Optional[HorovodConfig] = None) -> TrainResult:
+    """Run ``steps`` synthetic training steps on this rank.
+
+    All ranks must call this with identical arguments (SPMD).  Returns
+    the global throughput in images/second of virtual time.
+    """
+    if batch_per_device <= 0 or steps <= 0:
+        raise ConfigError("batch and steps must be positive")
+    model = model or resnet50()
+    config = config or HorovodConfig()
+    compute = compute_model_for(ctx.device)
+    optimizer = DistributedOptimizer(ctx, stack, model, config)
+    step_compute = compute.step_time_us(model, batch_per_device)
+
+    t_start = ctx.now
+    comm_total = 0.0
+    for _ in range(steps):
+        comm = optimizer.reduce_gradients()
+        comm_total += comm
+        # overlap rebate: comm already charged in full; the remaining
+        # compute charge is reduced by the hidden fraction, bounded by
+        # the backward window that can actually hide it
+        hidden = min(comm * config.overlap,
+                     compute.backward_time_us(model, batch_per_device))
+        ctx.clock.advance(max(0.0, step_compute - hidden))
+    elapsed = ctx.now - t_start
+    step_time = elapsed / steps
+    images = batch_per_device * ctx.size * steps
+    return TrainResult(model=model.name, batch_per_device=batch_per_device,
+                       world_size=ctx.size, steps=steps,
+                       img_per_sec=images / (elapsed / 1e6),
+                       step_time_us=step_time,
+                       comm_time_us=comm_total / steps)
+
+
+def project_throughput(shape: CommShape, stack: str, backend: str,
+                       model: Optional[ModelSpec] = None,
+                       batch_per_device: int = 128,
+                       mpi_config: Optional[MPIConfig] = None,
+                       config: Optional[HorovodConfig] = None,
+                       compute: Optional[ComputeModel] = None) -> TrainResult:
+    """Closed-form throughput at any scale (no engine).
+
+    Prices each fusion bucket's allreduce with the CCL or MPI cost
+    model per the stack's routing, then composes the step exactly like
+    :func:`train`.
+    """
+    from repro.core.tuning_table import cached_table
+    model = model or resnet50()
+    config = config or horovod_preset(stack, backend,
+                                      multi_node=shape.spans_nodes)
+    mpi_config = mpi_config or (openmpi_ucx() if stack in ("openmpi", "ucc")
+                                else mvapich_gpu())
+    if compute is None:
+        from repro.dl.compute import _MODELS
+        from repro.hw.vendors import Vendor
+        vendor = {"nccl": Vendor.NVIDIA, "msccl": Vendor.NVIDIA,
+                  "nccl-2.11": Vendor.NVIDIA, "nccl-2.12": Vendor.NVIDIA,
+                  "rccl": Vendor.AMD, "hccl": Vendor.HABANA,
+                  "oneccl": Vendor.INTEL}[backend]
+        compute = _MODELS[vendor]
+    params = ccl_params(backend if backend in ("nccl", "rccl", "hccl",
+                                                "msccl", "oneccl")
+                        else "nccl")
+    table = cached_table(shape, params, mpi_config)
+
+    def allreduce_us(nbytes: int) -> float:
+        if stack == "mpi":
+            return mpi_models.allreduce_time(mpi_config, shape, nbytes)
+        if stack == "ccl":
+            return ccl_models.allreduce_time(params, shape, nbytes)
+        if stack in ("openmpi", "ucc"):
+            base = ccl_models.allreduce_time(params, shape, nbytes) \
+                if stack == "ucc" and nbytes > 8192 \
+                else mpi_models.allreduce_time(mpi_config, shape, nbytes)
+            return base
+        # hybrid / pure-xccl
+        if stack == "pure-xccl" or table.choose("allreduce", nbytes) == "xccl":
+            return ccl_models.allreduce_time(params, shape, nbytes)
+        return mpi_models.allreduce_time(mpi_config, shape, nbytes)
+
+    buckets = build_buckets(model, config.fusion_threshold_bytes)
+    comm = 0.0
+    for b in buckets:
+        t = allreduce_us(b.nbytes)
+        if config.large_message_penalty > 1.0 and b.nbytes > config.penalty_threshold_bytes:
+            t *= config.large_message_penalty
+        comm += config.cycle_time_us + t
+    step_compute = compute.step_time_us(model, batch_per_device)
+    hidden = min(comm * config.overlap,
+                 compute.backward_time_us(model, batch_per_device))
+    step = comm + max(0.0, step_compute - hidden)
+    images = batch_per_device * shape.p
+    return TrainResult(model=model.name, batch_per_device=batch_per_device,
+                       world_size=shape.p, steps=1,
+                       img_per_sec=images / (step / 1e6),
+                       step_time_us=step, comm_time_us=comm)

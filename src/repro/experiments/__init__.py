@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each experiment exposes a module-level :data:`EXPERIMENT` record with a
+``run(scale)`` callable producing a :class:`repro.util.records.ResultSet`
+and a list of anchor checks against the paper's reported numbers.  The
+registry (:mod:`repro.experiments.registry`) indexes them; the report
+formatter (:mod:`repro.experiments.report`) renders EXPERIMENTS.md.
+
+Scales:
+
+* ``"paper"`` — the paper's rank counts; engine-driven where feasible,
+  closed-form models for the 128-rank sweeps (see DESIGN.md §4);
+* ``"quick"`` — reduced sizes/iterations for tests and smoke runs.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    AnchorCheck,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "AnchorCheck",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+]

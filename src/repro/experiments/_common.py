@@ -1,0 +1,129 @@
+"""Shared plumbing for the figure experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hw.systems import make_system
+from repro.mpi.config import MPIConfig, mvapich_gpu, openmpi_ucx
+from repro.omb.collective import COLLECTIVE_BENCHMARKS
+from repro.omb.harness import OMBConfig
+from repro.omb.stacks import make_stack, series_label
+from repro.perfmodel import ccl_models, mpi_models, ccl_params
+from repro.perfmodel.shape import CommShape, shape_of
+from repro.sim.engine import Engine
+from repro.util.records import ResultRecord, ResultSet
+from repro.util.sizes import DEFAULT_OMB_SIZES, power_of_two_sizes
+
+#: quick-scale sweep for tests: a handful of sizes, few iterations.
+QUICK_SIZES = (16, 1024, 65536, 1048576)
+
+
+def omb_config(scale: str) -> OMBConfig:
+    """OMB config per experiment scale."""
+    if scale == "quick":
+        return OMBConfig(sizes=QUICK_SIZES, warmup=1, iterations=3)
+    return OMBConfig(sizes=tuple(DEFAULT_OMB_SIZES), warmup=1, iterations=5)
+
+
+def run_collective_panel(exp_id: str, system: str, nodes: int, nranks: int,
+                         backend: str, coll: str, stacks: Sequence[str],
+                         scale: str,
+                         baseline_backend: Optional[str] = None) -> ResultSet:
+    """One figure panel: a collective on one system, several stacks.
+
+    ``baseline_backend`` overrides the backend for the "ccl" (pure,
+    dashed) series — Fig 5d compares MSCCL against pure NCCL 2.12.12.
+    """
+    config = omb_config(scale)
+    cluster = make_system(system, nodes)
+    bench = COLLECTIVE_BENCHMARKS[coll]
+    results = ResultSet()
+    for stack in stacks:
+        be = baseline_backend if (stack == "ccl" and baseline_backend) else backend
+        engine = Engine(cluster, nranks=nranks)
+
+        def body(ctx, stack=stack, be=be):
+            return bench(ctx, make_stack(ctx, stack, be), config)
+
+        stats = engine.run(body)[0]
+        label = series_label(stack, be)
+        for size, s in stats.items():
+            results.add(ResultRecord(exp_id, series=label, x=float(size),
+                                     value=s.avg_us, unit="us",
+                                     meta={"system": system, "nodes": nodes,
+                                           "ranks": nranks, "backend": be,
+                                           "collective": coll,
+                                           "stack": stack,
+                                           "min_us": s.min_us,
+                                           "max_us": s.max_us}))
+    return results
+
+
+def model_collective_panel(exp_id: str, system: str, nodes: int, nranks: int,
+                           backend: str, coll: str, stacks: Sequence[str],
+                           scale: str,
+                           baseline_backend: Optional[str] = None) -> ResultSet:
+    """Closed-form version of :func:`run_collective_panel` for scales
+    the engine cannot run interactively (128-rank sweeps)."""
+    from repro.core.tuning_table import cached_table
+    sizes = QUICK_SIZES if scale == "quick" else tuple(DEFAULT_OMB_SIZES)
+    cluster = make_system(system, nodes)
+    shape = shape_of(cluster, range(nranks))
+    mpi_cfg = mvapich_gpu()
+    ucx_cfg = openmpi_ucx()
+    results = ResultSet()
+
+    def _params(be: str):
+        # resolve through the backend registry so version-pinned
+        # backends (nccl-2.12 under the MSCCL panels) work too
+        from repro.xccl.registry import get_backend
+        return get_backend(be).params
+
+    def ccl_time(be: str, nbytes: int, wrapped: bool) -> float:
+        t = ccl_models.collective_time(_params(be), shape, coll, nbytes)
+        # MPI-wrapped CCL pays the thin abstraction-layer overhead
+        return t * 1.02 + 0.4 if wrapped else t
+
+    for stack in stacks:
+        be = baseline_backend if (stack == "ccl" and baseline_backend) else backend
+        params = _params(be)
+        table = cached_table(shape, params, mpi_cfg)
+        label = series_label(stack, be)
+        for size in sizes:
+            if stack == "ccl":
+                t = ccl_time(be, size, wrapped=False)
+            elif stack == "pure-xccl":
+                t = ccl_time(be, size, wrapped=True)
+            elif stack == "mpi":
+                t = mpi_models.collective_time(mpi_cfg, shape, coll, size)
+            elif stack == "openmpi":
+                t = mpi_models.collective_time(ucx_cfg, shape, coll, size)
+            elif stack == "ucc":
+                from repro.baselines.ucc import UCCBackend, UCC_TABLE
+                route = UCC_TABLE.choose(coll, size)
+                if route == "xccl":
+                    t = ccl_models.collective_time(UCCBackend.params, shape,
+                                                   coll, size) * 1.02 + 0.6
+                else:
+                    t = mpi_models.collective_time(ucx_cfg, shape, coll, size)
+            else:  # hybrid
+                if table.choose(coll, size) == "xccl":
+                    t = ccl_time(backend, size, wrapped=True)
+                else:
+                    t = mpi_models.collective_time(mpi_cfg, shape, coll, size)
+            results.add(ResultRecord(exp_id, series=label, x=float(size),
+                                     value=t, unit="us",
+                                     meta={"system": system, "nodes": nodes,
+                                           "ranks": nranks, "backend": be,
+                                           "collective": coll,
+                                           "stack": stack, "method": "model"}))
+    return results
+
+
+def value_near(results: ResultSet, series: str, x: float) -> float:
+    """Series value at the sweep point closest to ``x``."""
+    candidates = [(abs(r.x - x), r.value) for r in results if r.series == series]
+    if not candidates:
+        raise KeyError(f"series {series!r} absent")
+    return min(candidates)[1]

@@ -1,0 +1,47 @@
+"""Figure 10: TensorFlow+Horovod on the NVIDIA system, MSCCL backend.
+
+(a) 1 node / 8 GPUs and (b) 2 nodes / 16 GPUs; trends mirror NCCL,
+with xCCL reaching ~12300 img/s at batch 128 on 2 nodes.  The pure
+baseline is Horovod over MSCCL directly.  Engine-driven.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._tf_common import tf_panel, throughput
+from repro.experiments.registry import AnchorCheck, Experiment, register
+from repro.util.records import ResultSet
+
+
+def run(scale: str = "paper") -> ResultSet:
+    results = ResultSet()
+    results.extend(tf_panel("fig10a", "thetagpu", nodes=1, nranks=8,
+                            backend="msccl", stacks=("hybrid", "ccl"),
+                            scale=scale))
+    if scale != "quick":
+        results.extend(tf_panel("fig10b", "thetagpu", nodes=2, nranks=16,
+                                backend="msccl", stacks=("hybrid", "ccl"),
+                                scale=scale))
+    return results
+
+
+def _mirrors_nccl(results: ResultSet) -> float:
+    """xCCL over pure-MSCCL at bs128 (should mirror the NCCL trend,
+    i.e. a modest advantage)."""
+    return (throughput("fig10a", "Proposed Hybrid xCCL", 128)(results)
+            / throughput("fig10a", "Pure MSCCL", 128)(results))
+
+
+EXPERIMENT = register(Experiment(
+    id="fig10",
+    title="TensorFlow with Horovod on the NVIDIA system (MSCCL)",
+    paper_ref="Figure 10",
+    run=run,
+    method="engine",
+    checks=(
+        AnchorCheck("Fig10b xCCL img/s @16 GPUs bs128", 12300,
+                    throughput("fig10b", "Proposed Hybrid xCCL", 128),
+                    0.12, "img/s"),
+        AnchorCheck("Fig10a xCCL/MSCCL ratio @bs128 (mirrors NCCL)", 1.05,
+                    _mirrors_nccl, 0.15),
+    ),
+))

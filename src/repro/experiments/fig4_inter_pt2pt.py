@@ -1,0 +1,37 @@
+"""Figure 4: inter-node point-to-point performance, 4 backends.
+
+Same metrics as Fig. 3 with ranks 0 and 1 on different nodes
+(``ranks_per_node=1``).  Engine-driven.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3_intra_pt2pt import _at, _sweep
+from repro.experiments.registry import AnchorCheck, Experiment, register
+from repro.util.records import ResultSet
+
+M4 = 4 * 1024 * 1024
+
+
+def run(scale: str = "paper") -> ResultSet:
+    return _sweep("fig4", scale, nodes=2, ranks_per_node=1)
+
+
+EXPERIMENT = register(Experiment(
+    id="fig4",
+    title="Inter-node point-to-point performance",
+    paper_ref="Figure 4",
+    run=run,
+    method="engine",
+    checks=(
+        # paper §4.2: inter-node 4 MB latencies 255/579/835/230 us
+        AnchorCheck("NCCL inter 4MB latency (us)", 255,
+                    _at("NCCL latency", M4), 0.12, "us"),
+        AnchorCheck("RCCL inter 4MB latency (us)", 579,
+                    _at("RCCL latency", M4), 0.12, "us"),
+        AnchorCheck("HCCL inter 4MB latency (us)", 835,
+                    _at("HCCL latency", M4), 0.12, "us"),
+        AnchorCheck("MSCCL inter 4MB latency (us)", 230,
+                    _at("MSCCL latency", M4), 0.12, "us"),
+    ),
+))

@@ -1,0 +1,52 @@
+"""Figure 8: TensorFlow+Horovod on the AMD system (RCCL backend).
+
+(a) 4 nodes / 8 MI100s: xCCL 3192 img/s at batch 64 = 1.25x pure RCCL;
+(b) 8 nodes / 16 MI100s: xCCL 7210 img/s at batch 128 = 1.2x pure RCCL.
+Engine-driven.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._tf_common import tf_panel, throughput
+from repro.experiments.registry import AnchorCheck, Experiment, register
+from repro.util.records import ResultSet
+
+
+def run(scale: str = "paper") -> ResultSet:
+    results = ResultSet()
+    results.extend(tf_panel("fig8a", "mri", nodes=4, nranks=8,
+                            backend="rccl", stacks=("hybrid", "ccl"),
+                            scale=scale))
+    if scale != "quick":
+        results.extend(tf_panel("fig8b", "mri", nodes=8, nranks=16,
+                                backend="rccl", stacks=("hybrid", "ccl"),
+                                scale=scale))
+    return results
+
+
+def _ratio(exp: str, batch: int):
+    def get(results: ResultSet) -> float:
+        return (throughput(exp, "Proposed Hybrid xCCL", batch)(results)
+                / throughput(exp, "Pure RCCL", batch)(results))
+    return get
+
+
+EXPERIMENT = register(Experiment(
+    id="fig8",
+    title="TensorFlow with Horovod on the AMD system (RCCL)",
+    paper_ref="Figure 8",
+    run=run,
+    method="engine",
+    checks=(
+        AnchorCheck("Fig8a xCCL img/s @8 GPUs bs64", 3192,
+                    throughput("fig8a", "Proposed Hybrid xCCL", 64),
+                    0.15, "img/s"),
+        AnchorCheck("Fig8a xCCL/RCCL ratio @bs64", 1.25,
+                    _ratio("fig8a", 64), 0.15),
+        AnchorCheck("Fig8b xCCL img/s @16 GPUs bs128", 7210,
+                    throughput("fig8b", "Proposed Hybrid xCCL", 128),
+                    0.15, "img/s"),
+        AnchorCheck("Fig8b xCCL/RCCL ratio @bs128", 1.2,
+                    _ratio("fig8b", 128), 0.15),
+    ),
+))

@@ -1,0 +1,110 @@
+"""Experiment registry and anchor-check plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.util.records import ResultSet
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One paper-reported number and how to extract our measurement.
+
+    Attributes:
+        label: what the paper reports, e.g. "NCCL intra 4MB latency".
+        paper_value: the reported number.
+        extract: ResultSet -> measured value.
+        rel_tol: acceptable relative deviation (these are simulator
+            reproductions of testbed measurements — shape, not digits).
+        unit: display unit.
+    """
+
+    label: str
+    paper_value: float
+    extract: Callable[[ResultSet], float]
+    rel_tol: float = 0.25
+    unit: str = ""
+
+    def evaluate(self, results: ResultSet):
+        """(measured, passed, deviation) for this anchor."""
+        measured = self.extract(results)
+        if self.paper_value == 0:
+            return measured, measured == 0, 0.0
+        deviation = (measured - self.paper_value) / abs(self.paper_value)
+        return measured, abs(deviation) <= self.rel_tol, deviation
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table/figure."""
+
+    id: str
+    title: str
+    paper_ref: str
+    run: Callable[[str], ResultSet]      # scale -> results
+    checks: Sequence[AnchorCheck] = field(default_factory=tuple)
+    method: str = "engine"               # "engine", "model", or "mixed"
+
+    def check_all(self, results: ResultSet) -> List[Dict]:
+        """Evaluate every anchor; returns row dicts for the report."""
+        rows = []
+        for check in self.checks:
+            measured, passed, deviation = check.evaluate(results)
+            rows.append({
+                "label": check.label,
+                "paper": check.paper_value,
+                "measured": measured,
+                "deviation": deviation,
+                "passed": passed,
+                "unit": check.unit,
+            })
+        return rows
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (module import side effect)."""
+    _REGISTRY[experiment.id] = experiment
+    return experiment
+
+
+def _load_all() -> None:
+    # import experiment modules for their registration side effects
+    from repro.experiments import (  # noqa: F401
+        table1_systems,
+        fig1_motivation,
+        fig3_intra_pt2pt,
+        fig4_inter_pt2pt,
+        fig5_single_node_collectives,
+        fig6_multi_node_collectives,
+        fig7_tf_nccl,
+        fig8_tf_rccl,
+        fig9_tf_hccl,
+        fig10_tf_msccl,
+    )
+
+
+def all_experiments() -> List[Experiment]:
+    """Every registered experiment, id order."""
+    _load_all()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up one experiment by id (e.g. ``"fig5"``)."""
+    _load_all()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; have {sorted(_REGISTRY)}") from None
+
+
+def run_experiment(exp_id: str, scale: str = "paper") -> ResultSet:
+    """Run one experiment end to end."""
+    return get_experiment(exp_id).run(scale)

@@ -1,0 +1,98 @@
+"""Paper-vs-measured report formatting (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.registry import Experiment, all_experiments
+from repro.util.records import ResultSet
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def experiment_report(exp: Experiment, results: ResultSet) -> str:
+    """Markdown section for one experiment."""
+    out = io.StringIO()
+    out.write(f"### {exp.id}: {exp.title}\n\n")
+    out.write(f"*Paper reference: {exp.paper_ref}; evaluation method: "
+              f"{exp.method}.*\n\n")
+    rows = exp.check_all(results)
+    if not rows:
+        out.write("(no quantitative anchors for this experiment)\n")
+        return out.getvalue()
+    out.write("| anchor | paper | measured | deviation | within tol |\n")
+    out.write("|---|---:|---:|---:|:--:|\n")
+    for row in rows:
+        out.write(
+            f"| {row['label']} | {_fmt(row['paper'])} {row['unit']} "
+            f"| {_fmt(row['measured'])} {row['unit']} "
+            f"| {row['deviation']:+.1%} "
+            f"| {'yes' if row['passed'] else 'NO'} |\n")
+    return out.getvalue()
+
+
+def full_report(scale: str = "paper",
+                only: Optional[Sequence[str]] = None) -> str:
+    """Run every experiment and render the full markdown report."""
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Measured numbers are virtual-time results from the simulated\n"
+        "runtime (see DESIGN.md for the substitution map and the anchor\n"
+        "calibration).  Absolute agreement is not the goal — the authors'\n"
+        "testbed is real hardware — but who wins, by roughly what factor,\n"
+        "and where crossovers fall, must match.\n\n")
+    summary: List[str] = []
+    for exp in all_experiments():
+        if only and exp.id not in only:
+            continue
+        results = exp.run(scale)
+        out.write(experiment_report(exp, results))
+        out.write("\n")
+        rows = exp.check_all(results)
+        ok = sum(1 for r in rows if r["passed"])
+        summary.append(f"- {exp.id}: {ok}/{len(rows)} anchors within tolerance")
+    out.write("## Summary\n\n")
+    out.write("\n".join(summary) + "\n")
+    out.write(NOTES)
+    return out.getvalue()
+
+
+NOTES = """
+## Notes on methods and deviations
+
+* **Engine vs model.**  "engine" experiments run real SPMD rank threads
+  moving real buffers in virtual time at the paper's rank counts;
+  "model" experiments evaluate the calibrated closed-form cost models
+  (used where the paper's scale — 128 ranks sweeping 23 sizes — is out
+  of interactive engine budget).  The two are cross-validated against
+  each other in `tests/test_perfmodel.py`.
+* **Launch floors** (fig3) run 5-25% above the paper's quoted
+  overheads because our small-message latency includes the per-step
+  link alpha on top of the launch constant; the paper quotes the launch
+  component alone.
+* **Fig 5e absolute latencies** sit ~40% above the paper's 23/14 us
+  while reproducing the claimed shrink (~1.6x): OMB averages rooted
+  collectives across ranks, and our leaf-rank completion model differs
+  from MVAPICH's in how early an eager sender retires.
+* **TF integration presets** (figs 7-10): the paper's application-level
+  gaps exceed what raw allreduce latency differences produce; per-stack
+  Horovod integration factors (fusion effectiveness, overlap, large-
+  buffer pathologies) are calibrated to the reported throughputs and
+  documented in `repro/dl/presets.py`.  Stack *ordering* and
+  *ratios* are reproduced; the presets encode, not predict, the
+  absolute gaps.
+* The headline "4.6x over Open MPI" (conclusion) corresponds to the
+  UCC-vs-hybrid alltoall/allreduce gaps of figs 5-6 combined with the
+  TF multi-node results; our measured peak stack-vs-stack ratios are
+  in the 2.9-4.5x range at the cited operating points.
+"""

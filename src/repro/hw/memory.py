@@ -1,0 +1,204 @@
+"""Host and device buffers.
+
+Real GPU-aware MPI runtimes ask the driver where a pointer lives
+(``cudaPointerGetAttributes`` and friends) — the "Device Buffer
+Identify" box of the paper's Fig. 2.  Here device memory is numpy
+memory tagged with its owning :class:`~repro.hw.device.Accelerator`,
+and residency queries are :func:`is_device_buffer` /
+:func:`buffer_vendor`.
+
+Buffers support zero-copy element-range views (``buf.view(off, n)``) so
+collective algorithms can operate on segments without copies, per the
+HPC guides' "views, not copies" rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import InvalidBufferError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.device import Accelerator
+
+
+class Buffer:
+    """Base class for host and device buffers.
+
+    Wraps a 1-D numpy array plus placement metadata.  All communication
+    layers accept either raw numpy arrays (host memory) or
+    :class:`Buffer` subclasses.
+    """
+
+    __slots__ = ("array", "_freed")
+
+    def __init__(self, array: np.ndarray) -> None:
+        if array.ndim != 1:
+            array = array.reshape(-1)
+        self.array = array
+        self._freed = False
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the buffer in bytes."""
+        return int(self.array.nbytes)
+
+    @property
+    def count(self) -> int:
+        """Number of elements."""
+        return int(self.array.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """numpy dtype of the elements."""
+        return self.array.dtype
+
+    @property
+    def on_device(self) -> bool:
+        """True for device-resident buffers."""
+        return False
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise InvalidBufferError("buffer used after free")
+
+    # -- data access -----------------------------------------------------
+
+    def view(self, offset: int, count: Optional[int] = None) -> "Buffer":
+        """A zero-copy sub-buffer of ``count`` elements at ``offset``."""
+        self._check_live()
+        if count is None:
+            count = self.count - offset
+        if offset < 0 or count < 0 or offset + count > self.count:
+            raise InvalidBufferError(
+                f"view [{offset}:{offset + count}] out of range for {self.count} elements")
+        return self._make_view(self.array[offset:offset + count])
+
+    def _make_view(self, arr: np.ndarray) -> "Buffer":
+        return Buffer(arr)
+
+    def fill(self, value) -> None:
+        """Set every element to ``value`` (in place)."""
+        self._check_live()
+        self.array[...] = value
+
+    def copy_from(self, other) -> None:
+        """In-place element copy from another buffer or array."""
+        self._check_live()
+        src = other.array if isinstance(other, Buffer) else np.asarray(other)
+        if src.size != self.array.size:
+            raise InvalidBufferError(
+                f"copy size mismatch: src {src.size} vs dst {self.array.size}")
+        self.array[...] = src.reshape(-1)
+
+    def to_numpy(self) -> np.ndarray:
+        """A host-side copy of the contents."""
+        self._check_live()
+        return self.array.copy()
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = "device" if self.on_device else "host"
+        return f"<{type(self).__name__} {where} {self.count}x{self.dtype} ({self.nbytes} B)>"
+
+
+class HostBuffer(Buffer):
+    """Pinned host memory (what MPI stages device data through)."""
+
+    @classmethod
+    def empty(cls, count: int, dtype=np.float32) -> "HostBuffer":
+        """Allocate an uninitialized host buffer."""
+        return cls(np.empty(int(count), dtype=dtype))
+
+    @classmethod
+    def zeros(cls, count: int, dtype=np.float32) -> "HostBuffer":
+        """Allocate a zero-filled host buffer."""
+        return cls(np.zeros(int(count), dtype=dtype))
+
+    def _make_view(self, arr: np.ndarray) -> "HostBuffer":
+        return HostBuffer(arr)
+
+
+class DeviceBuffer(Buffer):
+    """Accelerator-resident memory, allocated by an :class:`Accelerator`.
+
+    Construction goes through :meth:`Accelerator.empty` /
+    :meth:`Accelerator.malloc`, which account the allocation against
+    the device's HBM capacity (Table 1: 40 GB on A100, 32 GB on MI100
+    and Gaudi).
+    """
+
+    __slots__ = ("device", "_root")
+
+    def __init__(self, array: np.ndarray, device: "Accelerator",
+                 root: Optional["DeviceBuffer"] = None) -> None:
+        super().__init__(array)
+        self.device = device
+        # views keep the root allocation alive and share its freed flag
+        self._root = root if root is not None else self
+
+    @property
+    def on_device(self) -> bool:
+        return True
+
+    @property
+    def vendor(self):
+        """Vendor of the owning device."""
+        return self.device.vendor
+
+    def _check_live(self) -> None:
+        if self._root._freed:
+            raise InvalidBufferError("device buffer used after free")
+
+    def _make_view(self, arr: np.ndarray) -> "DeviceBuffer":
+        return DeviceBuffer(arr, self.device, root=self._root)
+
+    def free(self) -> None:
+        """Release the allocation back to the device allocator.
+
+        Only valid on root allocations (not views), like ``cudaFree``.
+        """
+        if self._root is not self:
+            raise InvalidBufferError("cannot free a view; free the root allocation")
+        self.device._release(self)
+        self._freed = True
+
+    def __del__(self) -> None:
+        # garbage-collected root allocations release their accounting,
+        # so collective scratch buffers don't leak device memory
+        try:
+            if self._root is self and not self._freed:
+                self.device._release(self)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+def is_device_buffer(obj) -> bool:
+    """Residency check — the abstraction layer's "Device Buffer Identify".
+
+    Mirrors what a GPU-aware MPI does with ``cudaPointerGetAttributes``:
+    one uniform query, regardless of vendor.
+    """
+    return isinstance(obj, DeviceBuffer)
+
+
+def buffer_vendor(obj) -> Optional["object"]:
+    """Vendor of a device buffer, or None for host memory / arrays."""
+    if isinstance(obj, DeviceBuffer):
+        return obj.device.vendor
+    return None
+
+
+def as_array(obj) -> np.ndarray:
+    """The underlying 1-D numpy array of a buffer or array-like."""
+    if isinstance(obj, Buffer):
+        obj._check_live()
+        return obj.array
+    arr = np.asarray(obj)
+    return arr.reshape(-1)

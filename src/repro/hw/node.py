@@ -1,0 +1,101 @@
+"""A node: host CPU, accelerators, intra-node interconnect, NIC.
+
+Each node carries a networkx topology graph — host, devices, NIC, and
+(on ThetaGPU) the NVSwitch — so path queries between endpoints compose
+the actual link segments rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.hw.device import Accelerator, HostCPU
+from repro.hw.links import HOST_MEMCPY, LinkKind, LinkModel
+
+
+class Node:
+    """One machine of the cluster.
+
+    Args:
+        name: node hostname.
+        cpu: host processor description.
+        devices: accelerators in local-index order.
+        intra_link: device-to-device interconnect within the node.
+        nic: the node's network adapter link model.
+        switched: True when devices connect through a switch
+            (NVSwitch) giving every device its own full-bandwidth
+            port; False for a shared bus (PCIe).
+    """
+
+    def __init__(self, name: str, cpu: HostCPU, devices: List[Accelerator],
+                 intra_link: LinkModel, nic: LinkModel,
+                 switched: bool = True) -> None:
+        self.name = name
+        self.cpu = cpu
+        self.devices = list(devices)
+        self.intra_link = intra_link
+        self.nic = nic
+        self.switched = switched
+        self.host_link = HOST_MEMCPY
+        for i, dev in enumerate(self.devices):
+            dev.local_index = i
+            dev.node = self
+        self.graph = self._build_graph()
+
+    def _build_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_node("host", kind="host")
+        g.add_node("nic", kind="nic")
+        g.add_edge("host", "nic", link=self.host_link)
+        if self.switched:
+            g.add_node("switch", kind="switch")
+            g.add_edge("host", "switch", link=self.host_link)
+        for dev in self.devices:
+            dev_node = f"dev{dev.local_index}"
+            g.add_node(dev_node, kind="device", device=dev)
+            if self.switched:
+                g.add_edge(dev_node, "switch", link=self.intra_link)
+            else:
+                g.add_edge(dev_node, "host", link=self.intra_link)
+            # GPU-direct path from device to NIC
+            g.add_edge(dev_node, "nic", link=self.intra_link)
+        return g
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def device_count(self) -> int:
+        """Number of accelerators on the node."""
+        return len(self.devices)
+
+    def device(self, local_index: int) -> Accelerator:
+        """Accelerator at ``local_index``; raises TopologyError if absent."""
+        if not 0 <= local_index < len(self.devices):
+            raise TopologyError(
+                f"{self.name}: no device {local_index} (has {len(self.devices)})")
+        return self.devices[local_index]
+
+    def intra_path_links(self, a: int, b: int) -> List[LinkModel]:
+        """Link segments on the shortest path between two local devices."""
+        if a == b:
+            return []
+        try:
+            path = nx.shortest_path(self.graph, f"dev{a}", f"dev{b}")
+        except (nx.NodeNotFound, nx.NetworkXNoPath) as exc:
+            raise TopologyError(f"{self.name}: no path dev{a}->dev{b}") from exc
+        links = []
+        for u, v in zip(path, path[1:]):
+            links.append(self.graph.edges[u, v]["link"])
+        return links
+
+    def device_to_nic_links(self, local_index: int) -> List[LinkModel]:
+        """Link segments from a device to the node's NIC."""
+        path = nx.shortest_path(self.graph, f"dev{local_index}", "nic")
+        return [self.graph.edges[u, v]["link"] for u, v in zip(path, path[1:])]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = {d.vendor.value for d in self.devices}
+        return f"<Node {self.name}: {len(self.devices)} dev {sorted(kinds)}>"

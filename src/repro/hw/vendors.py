@@ -1,0 +1,77 @@
+"""Accelerator vendor taxonomy.
+
+The abstraction layer (Fig. 2 of the paper) keys everything on the
+vendor of the local accelerator: which CCL to load (NCCL, RCCL, HCCL,
+MSCCL), which runtime stack owns the device (CUDA, ROCm/HIP, SynapseAI),
+and which datatype tables apply.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Vendor(enum.Enum):
+    """Accelerator vendors covered by the paper's evaluation, plus
+    Intel — the paper's stated future work ("extend support to
+    additional hardware like Intel GPUs ... and new vendor-specific
+    libraries like oneCCL", §6), implemented here as the extension
+    exercise for the plug-in design."""
+
+    NVIDIA = "nvidia"
+    AMD = "amd"
+    HABANA = "habana"
+    INTEL = "intel"
+
+    @property
+    def runtime_stack(self) -> str:
+        """The vendor's device runtime (CUDA / ROCm / SynapseAI)."""
+        return _RUNTIME[self]
+
+    @property
+    def native_ccl(self) -> str:
+        """The vendor-provided CCL name (NCCL / RCCL / HCCL)."""
+        return _NATIVE_CCL[self]
+
+    @property
+    def device_label(self) -> str:
+        """GPU vs HPU — Habana markets Gaudi as an HPU."""
+        return "HPU" if self is Vendor.HABANA else "GPU"
+
+    @classmethod
+    def parse(cls, name: str) -> "Vendor":
+        """Parse a vendor from a case-insensitive string."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            valid = ", ".join(v.value for v in cls)
+            raise ValueError(f"unknown vendor {name!r}; expected one of: {valid}") from None
+
+
+_RUNTIME = {
+    Vendor.NVIDIA: "cuda",
+    Vendor.AMD: "rocm",
+    Vendor.HABANA: "synapseai",
+    Vendor.INTEL: "level-zero",
+}
+
+_NATIVE_CCL = {
+    Vendor.NVIDIA: "nccl",
+    Vendor.AMD: "rccl",
+    Vendor.HABANA: "hccl",
+    Vendor.INTEL: "oneccl",
+}
+
+#: Which CCL backends can drive which vendor's devices.  MSCCL runs on
+#: NVIDIA hardware (it wraps an NCCL build), per §2.1 of the paper.
+COMPATIBLE_CCLS = {
+    Vendor.NVIDIA: ("nccl", "msccl"),
+    Vendor.AMD: ("rccl",),
+    Vendor.HABANA: ("hccl",),
+    Vendor.INTEL: ("oneccl",),
+}
+
+
+def default_ccl_for(vendor: Vendor) -> str:
+    """The CCL the runtime auto-selects for ``vendor`` (first compatible)."""
+    return COMPATIBLE_CCLS[vendor][0]

@@ -1,0 +1,62 @@
+"""Shared helpers for the collective algorithm implementations."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hw.memory import Buffer, as_array, is_device_buffer
+from repro.mpi.communicator import IN_PLACE
+
+
+def arr_of(buf) -> np.ndarray:
+    """The flat numpy array behind a buffer/array argument."""
+    return as_array(buf)
+
+
+def seg(buf, offset: int, count: int):
+    """An element-range view of a buffer or array (zero-copy)."""
+    if isinstance(buf, Buffer):
+        return buf.view(offset, count)
+    return as_array(buf)[offset:offset + count]
+
+
+def chunk_bounds(count: int, parts: int) -> List[Tuple[int, int]]:
+    """(offset, size) of ``count`` elements split into ``parts``
+    contiguous chunks, np.array_split-style (first ``count % parts``
+    chunks one element larger)."""
+    base, rem = divmod(count, parts)
+    bounds = []
+    off = 0
+    for i in range(parts):
+        size = base + (1 if i < rem else 0)
+        bounds.append((off, size))
+        off += size
+    return bounds
+
+
+def is_inplace(sendbuf) -> bool:
+    """True for the MPI_IN_PLACE sentinel (or None shorthand)."""
+    return sendbuf is IN_PLACE or sendbuf is None
+
+
+def materialize_input(comm, sendbuf, recvbuf, count: int) -> None:
+    """Copy sendbuf into recvbuf unless in-place; algorithms then work
+    out of recvbuf uniformly."""
+    from repro.mpi.compute import local_copy
+    if not is_inplace(sendbuf):
+        local_copy(comm.ctx, seg(recvbuf, 0, count), seg(sendbuf, 0, count))
+
+
+def largest_pof2_below(p: int) -> int:
+    """Largest power of two <= p."""
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    return pof2
+
+
+def is_pof2(p: int) -> bool:
+    """True when p is a power of two."""
+    return p > 0 and (p & (p - 1)) == 0

@@ -1,0 +1,114 @@
+"""Alltoall algorithms: scattered, pairwise, Bruck, and the vector form.
+
+Scattered (all nonblocking sends/recvs at once) suits small-to-medium
+messages; pairwise exchange serializes into ``p-1`` balanced rounds for
+large messages; Bruck trades ``log p`` rounds for ``n/2 * log p`` extra
+volume — the very-small-message winner.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.coll._util import seg
+from repro.mpi.compute import alloc_like, local_copy
+from repro.mpi.datatypes import Datatype
+from repro.mpi.request import waitall
+
+
+def alltoall_scattered(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
+    """Post every irecv and isend, then complete them all."""
+    rank, p = comm.rank, comm.size
+    tag = comm.next_coll_tag()
+    local_copy(comm.ctx, seg(recvbuf, rank * count, count),
+               seg(sendbuf, rank * count, count))
+    reqs = []
+    for off in range(1, p):
+        src = (rank - off) % p
+        reqs.append(comm.Irecv(seg(recvbuf, src * count, count),
+                               source=src, tag=tag, count=count, datatype=dt))
+    for off in range(1, p):
+        dst = (rank + off) % p
+        reqs.append(comm.Isend(seg(sendbuf, dst * count, count),
+                               dst, tag, count=count, datatype=dt))
+    waitall(reqs)
+
+
+def alltoall_pairwise(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
+    """Pairwise exchange: step ``s`` trades blocks with ranks ±s."""
+    rank, p = comm.rank, comm.size
+    tag = comm.next_coll_tag()
+    local_copy(comm.ctx, seg(recvbuf, rank * count, count),
+               seg(sendbuf, rank * count, count))
+    for step in range(1, p):
+        dst = (rank + step) % p
+        src = (rank - step) % p
+        comm.Sendrecv(seg(sendbuf, dst * count, count), dst,
+                      seg(recvbuf, src * count, count), src,
+                      sendtag=tag, datatype=dt)
+
+
+def alltoall_bruck(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
+    """Bruck alltoall: rotate, ``ceil(log2 p)`` packed exchanges,
+    rotate back."""
+    rank, p = comm.rank, comm.size
+    tag = comm.next_coll_tag()
+    if p == 1:
+        local_copy(comm.ctx, seg(recvbuf, 0, count), seg(sendbuf, 0, count))
+        return
+    itemsize = dt.storage.itemsize
+    # phase 1: tmp[i] = block destined to rank (rank + i) % p
+    tmp = alloc_like(comm.ctx, sendbuf, p * count, dt.storage)
+    for i in range(p):
+        blk = (rank + i) % p
+        local_copy(comm.ctx, seg(tmp, i * count, count),
+                   seg(sendbuf, blk * count, count), charge=False)
+    comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+
+    # phase 2: for each bit, ship the blocks whose index has that bit set
+    pack = alloc_like(comm.ctx, sendbuf, ((p + 1) // 2) * count, dt.storage)
+    unpack = alloc_like(comm.ctx, sendbuf, ((p + 1) // 2) * count, dt.storage)
+    bit = 1
+    while bit < p:
+        idxs = [i for i in range(p) if i & bit]
+        for j, i in enumerate(idxs):
+            local_copy(comm.ctx, seg(pack, j * count, count),
+                       seg(tmp, i * count, count), charge=False)
+        n = len(idxs) * count
+        comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+        dst = (rank + bit) % p
+        src = (rank - bit) % p
+        comm.Sendrecv(seg(pack, 0, n), dst, seg(unpack, 0, n), src,
+                      sendtag=tag, datatype=dt)
+        for j, i in enumerate(idxs):
+            local_copy(comm.ctx, seg(tmp, i * count, count),
+                       seg(unpack, j * count, count), charge=False)
+        comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+        bit <<= 1
+
+    # phase 3: tmp[(rank - src) % p] holds the block from `src`
+    for srcr in range(p):
+        local_copy(comm.ctx, seg(recvbuf, srcr * count, count),
+                   seg(tmp, ((rank - srcr) % p) * count, count), charge=False)
+    comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+
+
+def alltoallv_scattered(comm, sendbuf, sendcounts, sdispls,
+                        recvbuf, recvcounts, rdispls, dt: Datatype) -> None:
+    """Scattered ``MPI_Alltoallv`` (the baseline Listing 1 compares
+    against)."""
+    rank, p = comm.rank, comm.size
+    tag = comm.next_coll_tag()
+    local_copy(comm.ctx, seg(recvbuf, rdispls[rank], recvcounts[rank]),
+               seg(sendbuf, sdispls[rank], sendcounts[rank]))
+    reqs = []
+    for off in range(1, p):
+        src = (rank - off) % p
+        if recvcounts[src]:
+            reqs.append(comm.Irecv(seg(recvbuf, rdispls[src], recvcounts[src]),
+                                   source=src, tag=tag,
+                                   count=recvcounts[src], datatype=dt))
+    for off in range(1, p):
+        dst = (rank + off) % p
+        if sendcounts[dst]:
+            reqs.append(comm.Isend(seg(sendbuf, sdispls[dst], sendcounts[dst]),
+                                   dst, tag, count=sendcounts[dst], datatype=dt))
+    waitall(reqs)

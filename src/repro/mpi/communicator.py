@@ -1,0 +1,515 @@
+"""Communicators: the MPI face of the runtime.
+
+mpi4py-style buffer API (``Send``/``Recv``/``Bcast``/``Allreduce``/...),
+context-isolated traffic per communicator, ``Dup``/``Split``, and a
+pluggable collective dispatcher.  The dispatcher indirection is the
+paper's integration hook (§3.3 "provided hooks in MPI runtimes"): the
+default dispatcher selects among classic MPI algorithms; the xCCL
+abstraction layer (:mod:`repro.core`) installs a dispatcher that can
+route to vendor CCL backends, falling back here when capability checks
+fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MPICommError, MPICountError, MPIRankError
+from repro.hw.memory import as_array
+from repro.mpi.config import MPIConfig, mvapich_gpu
+from repro.mpi.datatypes import Datatype, datatype_of
+from repro.mpi.ops import Op, SUM
+from repro.mpi.p2p import P2PEndpoint
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.sim.engine import RankContext
+from repro.sim.mailbox import ANY_SOURCE, ANY_TAG
+
+#: sentinel for in-place collective input (``MPI_IN_PLACE``).
+IN_PLACE = object()
+
+#: collective traffic lives above this tag (user tags stay below).
+COLL_TAG_BASE = 1 << 20
+
+
+class Communicator:
+    """One rank's view of a communicator.
+
+    Construct the world communicator with :meth:`world`; derive others
+    with :meth:`Dup` / :meth:`Split`.
+    """
+
+    def __init__(self, ctx: RankContext, config: MPIConfig,
+                 group: Sequence[int], ctx_id: str) -> None:
+        if ctx.rank not in group:
+            raise MPICommError(f"rank {ctx.rank} not in group {group}")
+        self.ctx = ctx
+        self.config = config
+        self.group: Tuple[int, ...] = tuple(group)
+        self.ctx_id = ctx_id
+        self.endpoint = P2PEndpoint(ctx, config, ctx_id)
+        self._rank = self.group.index(ctx.rank)
+        self._seq = itertools.count(1)
+        self._freed = False
+        from repro.mpi.coll import MPICollDispatcher  # local: avoid cycle
+        self.coll = MPICollDispatcher()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def world(cls, ctx: RankContext, config: Optional[MPIConfig] = None) -> "Communicator":
+        """The COMM_WORLD of this run."""
+        return cls(ctx, config or mvapich_gpu(), tuple(range(ctx.size)), "w")
+
+    def Dup(self) -> "Communicator":
+        """Duplicate with an isolated context (``MPI_Comm_dup``)."""
+        self._check_live()
+        seq = next(self._seq)
+        return Communicator(self.ctx, self.config, self.group,
+                            f"{self.ctx_id}.d{seq}")
+
+    def Split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+        """Partition by color, order by key (``MPI_Comm_split``).
+
+        Returns None for ``color < 0`` (``MPI_UNDEFINED``).
+        """
+        self._check_live()
+        seq = next(self._seq)
+        slot = self.ctx.collective_slot((self.ctx_id, "split", seq),
+                                        parties=self.size)
+        entries = slot.exchange(self._rank, (color, key, self.ctx.rank),
+                                lambda payloads: dict(payloads))
+        self.ctx.clock.advance(2.0)  # metadata allgather, tiny
+        if color < 0:
+            return None
+        members = sorted(((k, w) for c, k, w in entries.values() if c == color))
+        group = tuple(w for _, w in members)
+        return Communicator(self.ctx, self.config, group,
+                            f"{self.ctx_id}.s{seq}.{color}")
+
+    def Free(self) -> None:
+        """Release the communicator (``MPI_Comm_free``)."""
+        self._freed = True
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise MPICommError("communicator used after Free")
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.group)
+
+    def Get_rank(self) -> int:
+        """``MPI_Comm_rank``."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """``MPI_Comm_size``."""
+        return len(self.group)
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to a world rank."""
+        if not 0 <= comm_rank < len(self.group):
+            raise MPIRankError(
+                f"rank {comm_rank} out of range for size {len(self.group)}")
+        return self.group[comm_rank]
+
+    @property
+    def now(self) -> float:
+        """The rank's current virtual time (us)."""
+        return self.ctx.now
+
+    # -- point-to-point -------------------------------------------------------
+
+    def _pack_cost(self, nbytes: int) -> None:
+        self.ctx.clock.advance(0.2 + nbytes / self.config.unpack_bpus)
+
+    def _pack_derived(self, buf, count: Optional[int], dtype):
+        """(packed buffer, element count, base type) for a derived send."""
+        from repro.mpi.compute import alloc_like
+        instances = count if count is not None else 1
+        flat = dtype.pack(buf, instances)
+        packed = alloc_like(self.ctx, buf, flat.size, dtype.base.storage)
+        as_array(packed)[...] = flat
+        self._pack_cost(flat.size * dtype.base.wire_itemsize)
+        return packed, flat.size
+
+    def Send(self, buf, dest: int, tag: int = 0,
+             count: Optional[int] = None, datatype: Optional[Datatype] = None) -> None:
+        """Blocking send to communicator rank ``dest``.
+
+        Derived datatypes are packed into a contiguous wire buffer
+        (charged in virtual time) before transmission.
+        """
+        self._check_live()
+        from repro.mpi.derived import is_derived
+        if is_derived(datatype):
+            packed, n = self._pack_derived(buf, count, datatype)
+            self.endpoint.send(packed, self.world_rank(dest), tag, n,
+                               datatype.base)
+            return
+        self.endpoint.send(buf, self.world_rank(dest), tag, count, datatype)
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> Status:
+        """Blocking receive from communicator rank ``source``."""
+        self._check_live()
+        from repro.mpi.compute import alloc_like
+        from repro.mpi.derived import is_derived
+        src_world = source if source == ANY_SOURCE else self.world_rank(source)
+        if is_derived(datatype):
+            instances = count if count is not None else 1
+            n = instances * datatype.elements_per_instance
+            scratch = alloc_like(self.ctx, buf, n, datatype.base.storage)
+            status = self.endpoint.recv(scratch, src_world, tag, n,
+                                        datatype.base)
+            datatype.unpack(as_array(scratch)[:n], buf, instances)
+            self._pack_cost(n * datatype.base.wire_itemsize)
+            status.count = instances
+        else:
+            status = self.endpoint.recv(buf, src_world, tag, count, datatype)
+        status.source = self.group.index(status.source)
+        return status
+
+    def Isend(self, buf, dest: int, tag: int = 0,
+              count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> Request:
+        """Nonblocking send."""
+        self._check_live()
+        from repro.mpi.derived import is_derived
+        if is_derived(datatype):
+            packed, n = self._pack_derived(buf, count, datatype)
+            return self.endpoint.isend(packed, self.world_rank(dest), tag,
+                                       n, datatype.base)
+        return self.endpoint.isend(buf, self.world_rank(dest), tag, count, datatype)
+
+    def Irecv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> Request:
+        """Nonblocking receive (derived types unpack at completion)."""
+        self._check_live()
+        from repro.mpi.compute import alloc_like
+        from repro.mpi.derived import is_derived
+        src_world = source if source == ANY_SOURCE else self.world_rank(source)
+        if not is_derived(datatype):
+            return self.endpoint.irecv(buf, src_world, tag, count, datatype)
+        instances = count if count is not None else 1
+        n = instances * datatype.elements_per_instance
+        scratch = alloc_like(self.ctx, buf, n, datatype.base.storage)
+        inner = self.endpoint.irecv(scratch, src_world, tag, n, datatype.base)
+
+        def complete(blocking: bool) -> Optional[Status]:
+            if blocking:
+                status = inner.wait()
+            else:
+                done, status = inner.test()
+                if not done:
+                    return None
+            datatype.unpack(as_array(scratch)[:n], buf, instances)
+            self._pack_cost(n * datatype.base.wire_itemsize)
+            status.count = instances
+            return status
+
+        return Request(complete, kind="recv-derived")
+
+    def Sendrecv(self, sendbuf, dest: int, recvbuf, source: int,
+                 sendtag: int = 0, recvtag: Optional[int] = None,
+                 datatype: Optional[Datatype] = None) -> Status:
+        """Combined exchange (``MPI_Sendrecv``)."""
+        self._check_live()
+        status = self.endpoint.sendrecv(
+            sendbuf, self.world_rank(dest), recvbuf, self.world_rank(source),
+            sendtag, recvtag if recvtag is not None else sendtag,
+            datatype=datatype)
+        status.source = self.group.index(status.source)
+        return status
+
+    def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe."""
+        self._check_live()
+        src_world = source if source == ANY_SOURCE else self.world_rank(source)
+        return self.endpoint.probe(src_world, tag)
+
+    # -- persistent requests (MPI_Send_init / MPI_Recv_init) --------------------
+
+    def Send_init(self, buf, dest: int, tag: int = 0,
+                  count: Optional[int] = None,
+                  datatype: Optional[Datatype] = None) -> "PersistentRequest":
+        """Create a persistent send request; activate with ``Start``.
+
+        Amortizes argument validation across iterations of a fixed
+        communication pattern (halo exchanges, solver loops).
+        """
+        self._check_live()
+        self.world_rank(dest)
+        return PersistentRequest(
+            lambda: self.Isend(buf, dest, tag, count, datatype))
+
+    def Recv_init(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                  count: Optional[int] = None,
+                  datatype: Optional[Datatype] = None) -> "PersistentRequest":
+        """Create a persistent receive request."""
+        self._check_live()
+        return PersistentRequest(
+            lambda: self.Irecv(buf, source, tag, count, datatype))
+
+    # -- collective plumbing ---------------------------------------------------
+
+    def next_coll_tag(self) -> int:
+        """Reserved tag block for the next collective call (identical
+        call sequence on every rank keeps these in agreement)."""
+        return COLL_TAG_BASE + (next(self._seq) << 6)
+
+    def coll_key(self, kind: str, tag: int) -> Tuple:
+        """Engine rendezvous key for a CCL-style fused collective."""
+        return (self.ctx_id, kind, tag)
+
+    def _resolve(self, sendbuf, recvbuf, count: Optional[int],
+                 datatype: Optional[Datatype]):
+        """Common (sendbuf, recvbuf, count, datatype) normalization."""
+        ref = recvbuf if sendbuf is IN_PLACE or sendbuf is None else sendbuf
+        dt = datatype or datatype_of(ref)
+        if count is None:
+            count = as_array(ref).size
+        if count < 0:
+            raise MPICountError(f"negative count {count}")
+        return count, dt
+
+    # -- collectives ---------------------------------------------------------
+
+    def Barrier(self) -> None:
+        """``MPI_Barrier``."""
+        self._check_live()
+        self.coll.barrier(self)
+
+    def Bcast(self, buf, root: int = 0, count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Bcast``: root's buffer to everyone."""
+        self._check_live()
+        count, dt = self._resolve(buf, buf, count, datatype)
+        self.world_rank(root)
+        self.coll.bcast(self, buf, count, dt, root)
+
+    def Reduce(self, sendbuf, recvbuf, op: Op = SUM, root: int = 0,
+               count: Optional[int] = None,
+               datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Reduce`` to ``root``."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self.world_rank(root)
+        self.coll.reduce(self, sendbuf, recvbuf, count, dt, op, root)
+
+    def Allreduce(self, sendbuf, recvbuf, op: Op = SUM,
+                  count: Optional[int] = None,
+                  datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Allreduce``."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self.coll.allreduce(self, sendbuf, recvbuf, count, dt, op)
+
+    def Allgather(self, sendbuf, recvbuf, count: Optional[int] = None,
+                  datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Allgather``; ``count`` is the per-rank contribution."""
+        self._check_live()
+        if count is None:
+            ref = recvbuf if sendbuf is IN_PLACE else sendbuf
+            count = as_array(ref).size
+            if sendbuf is IN_PLACE:
+                count //= self.size
+        dt = datatype or datatype_of(recvbuf)
+        self.coll.allgather(self, sendbuf, recvbuf, count, dt)
+
+    def Allgatherv(self, sendbuf, recvbuf, counts: Sequence[int],
+                   displs: Optional[Sequence[int]] = None,
+                   datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Allgatherv`` with per-rank counts."""
+        self._check_live()
+        dt = datatype or datatype_of(recvbuf)
+        displs = list(displs) if displs is not None else _prefix(counts)
+        self.coll.allgatherv(self, sendbuf, recvbuf, list(counts), displs, dt)
+
+    def Alltoall(self, sendbuf, recvbuf, count: Optional[int] = None,
+                 datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Alltoall``; ``count`` is the per-destination block."""
+        self._check_live()
+        if count is None:
+            count = as_array(sendbuf).size // self.size
+        dt = datatype or datatype_of(sendbuf)
+        self.coll.alltoall(self, sendbuf, recvbuf, count, dt)
+
+    def Alltoallv(self, sendbuf, sendcounts: Sequence[int],
+                  recvbuf, recvcounts: Sequence[int],
+                  sdispls: Optional[Sequence[int]] = None,
+                  rdispls: Optional[Sequence[int]] = None,
+                  datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Alltoallv`` (Listing 1 of the paper targets this)."""
+        self._check_live()
+        dt = datatype or datatype_of(sendbuf)
+        sdispls = list(sdispls) if sdispls is not None else _prefix(sendcounts)
+        rdispls = list(rdispls) if rdispls is not None else _prefix(recvcounts)
+        self.coll.alltoallv(self, sendbuf, list(sendcounts), sdispls,
+                            recvbuf, list(recvcounts), rdispls, dt)
+
+    def Gather(self, sendbuf, recvbuf, root: int = 0,
+               count: Optional[int] = None,
+               datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Gather`` to ``root`` (recvbuf significant at root)."""
+        self._check_live()
+        if count is None:
+            count = as_array(sendbuf).size
+        dt = datatype or datatype_of(sendbuf)
+        self.world_rank(root)
+        self.coll.gather(self, sendbuf, recvbuf, count, dt, root)
+
+    def Gatherv(self, sendbuf, recvbuf, counts: Sequence[int],
+                displs: Optional[Sequence[int]] = None, root: int = 0,
+                datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Gatherv``."""
+        self._check_live()
+        dt = datatype or datatype_of(sendbuf)
+        displs = list(displs) if displs is not None else _prefix(counts)
+        self.world_rank(root)
+        self.coll.gatherv(self, sendbuf, recvbuf, list(counts), displs, dt, root)
+
+    def Scatter(self, sendbuf, recvbuf, root: int = 0,
+                count: Optional[int] = None,
+                datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Scatter`` from ``root``."""
+        self._check_live()
+        if count is None:
+            count = as_array(recvbuf).size
+        dt = datatype or datatype_of(recvbuf)
+        self.world_rank(root)
+        self.coll.scatter(self, sendbuf, recvbuf, count, dt, root)
+
+    def Scatterv(self, sendbuf, counts: Sequence[int], recvbuf,
+                 displs: Optional[Sequence[int]] = None, root: int = 0,
+                 datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Scatterv``."""
+        self._check_live()
+        dt = datatype or datatype_of(recvbuf)
+        displs = list(displs) if displs is not None else _prefix(counts)
+        self.world_rank(root)
+        self.coll.scatterv(self, sendbuf, list(counts), displs, recvbuf, dt, root)
+
+    def Reduce_scatter_block(self, sendbuf, recvbuf, op: Op = SUM,
+                             count: Optional[int] = None,
+                             datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Reduce_scatter_block``; ``count`` is per-rank output."""
+        self._check_live()
+        if count is None:
+            count = as_array(recvbuf).size
+        dt = datatype or datatype_of(recvbuf)
+        op.validate(dt)
+        self.coll.reduce_scatter_block(self, sendbuf, recvbuf, count, dt, op)
+
+    def Scan(self, sendbuf, recvbuf, op: Op = SUM,
+             count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Scan`` (inclusive prefix reduction)."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self.coll.scan(self, sendbuf, recvbuf, count, dt, op)
+
+    def Exscan(self, sendbuf, recvbuf, op: Op = SUM,
+               count: Optional[int] = None,
+               datatype: Optional[Datatype] = None) -> None:
+        """``MPI_Exscan`` (exclusive prefix reduction; rank 0's recvbuf
+        is untouched)."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self.coll.exscan(self, sendbuf, recvbuf, count, dt, op)
+
+    # -- nonblocking collectives (§1.2 advantage 4) ----------------------------
+
+    def Ibcast(self, buf, root: int = 0, **kw) -> Request:
+        """Nonblocking broadcast (executed eagerly; see DESIGN.md)."""
+        self.Bcast(buf, root, **kw)
+        return Request.completed(Status(), kind="ibcast")
+
+    def Iallreduce(self, sendbuf, recvbuf, op: Op = SUM, **kw) -> Request:
+        """Nonblocking allreduce (executed eagerly)."""
+        self.Allreduce(sendbuf, recvbuf, op, **kw)
+        return Request.completed(Status(), kind="iallreduce")
+
+    def Ialltoall(self, sendbuf, recvbuf, **kw) -> Request:
+        """Nonblocking alltoall (executed eagerly)."""
+        self.Alltoall(sendbuf, recvbuf, **kw)
+        return Request.completed(Status(), kind="ialltoall")
+
+    def Ibarrier(self) -> Request:
+        """Nonblocking barrier (executed eagerly)."""
+        self.Barrier()
+        return Request.completed(Status(), kind="ibarrier")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Communicator {self.ctx_id} rank {self._rank}/{self.size}>"
+
+
+class PersistentRequest:
+    """A reusable request (``MPI_Send_init``/``MPI_Recv_init``).
+
+    ``Start`` activates one iteration; ``wait`` completes it; the
+    request can then be started again.  ``startall``/``waitall`` work
+    via the plain functions in :mod:`repro.mpi.request`.
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._active: Optional[Request] = None
+
+    def Start(self) -> "PersistentRequest":
+        """Activate the operation (``MPI_Start``)."""
+        if self._active is not None and not self._active.done:
+            raise MPICommError("Start on an already-active persistent request")
+        self._active = self._factory()
+        return self
+
+    def wait(self) -> Status:
+        """Complete the active iteration."""
+        if self._active is None:
+            raise MPICommError("wait on an inactive persistent request")
+        status = self._active.wait()
+        return status
+
+    def test(self):
+        """Poll the active iteration."""
+        if self._active is None:
+            raise MPICommError("test on an inactive persistent request")
+        return self._active.test()
+
+    @property
+    def active(self) -> bool:
+        """True while an iteration is started and incomplete."""
+        return self._active is not None and not self._active.done
+
+
+def start_all(requests: Sequence["PersistentRequest"]) -> None:
+    """``MPI_Startall``."""
+    for r in requests:
+        r.Start()
+
+
+def _prefix(counts: Sequence[int]) -> List[int]:
+    """Exclusive prefix sums (default displacements)."""
+    out, acc = [], 0
+    for c in counts:
+        out.append(acc)
+        acc += int(c)
+    return out

@@ -1,0 +1,79 @@
+"""Local compute steps inside collectives: reductions and copies.
+
+Each reduction or copy that a collective algorithm performs costs
+virtual time.  Where the work runs depends on buffer residency, the
+same way a real GPU-aware MPI decides: small device-buffer reductions
+are staged to the host (a kernel launch would dominate), large ones run
+as device kernels at HBM bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.memory import Buffer, DeviceBuffer, as_array, is_device_buffer
+from repro.mpi.config import MPIConfig
+from repro.mpi.datatypes import Datatype
+from repro.mpi.ops import Op
+from repro.sim.engine import RankContext
+
+#: below this, device reductions are done host-side (kernel launch
+#: would dominate); matches MVAPICH-style small-message staging.
+HOST_REDUCE_THRESHOLD = 8192
+
+
+def reduce_time_us(ctx: RankContext, config: MPIConfig, nbytes: int,
+                   on_device: bool) -> float:
+    """Virtual cost of reducing ``nbytes`` into an accumulator."""
+    if on_device and nbytes > HOST_REDUCE_THRESHOLD:
+        # read both operands, write one: 3x traffic over HBM
+        return ctx.device.kernel_time_us(3 * nbytes)
+    return 0.15 + nbytes / config.host_reduce_bpus
+
+
+def apply_reduce(ctx: RankContext, config: MPIConfig, op: Op,
+                 acc, operand, charge: bool = True) -> None:
+    """``acc = op(acc, operand)`` elementwise, charging virtual time.
+
+    ``acc``/``operand`` are buffers or arrays of equal element count.
+    """
+    a = as_array(acc)
+    b = as_array(operand)
+    a[...] = op(a, b)
+    if charge:
+        on_dev = is_device_buffer(acc) or is_device_buffer(operand)
+        ctx.clock.advance(reduce_time_us(ctx, config, int(a.nbytes), on_dev))
+        ctx.trace.record("kernel", ctx.now, ctx.now, nbytes=int(a.nbytes),
+                         label=f"reduce:{op.name}")
+
+
+def copy_time_us(ctx: RankContext, nbytes: int, on_device: bool) -> float:
+    """Virtual cost of a local buffer-to-buffer copy."""
+    if on_device:
+        return ctx.device.kernel_time_us(2 * nbytes) if nbytes > HOST_REDUCE_THRESHOLD \
+            else 0.3 + nbytes / 20000.0
+    return 0.05 + nbytes / 24000.0
+
+
+def local_copy(ctx: RankContext, dst, src, charge: bool = True) -> None:
+    """``dst[...] = src`` with virtual-time charging."""
+    d = as_array(dst)
+    s = as_array(src)
+    d[...] = s if d.dtype == s.dtype else s.astype(d.dtype)
+    if charge:
+        on_dev = is_device_buffer(dst) or is_device_buffer(src)
+        ctx.clock.advance(copy_time_us(ctx, int(d.nbytes), on_dev))
+
+
+def alloc_like(ctx: RankContext, ref, count: int, dtype=None):
+    """Scratch buffer matching ``ref``'s residency.
+
+    Device-resident scratch keeps collective traffic on the device
+    path; freed automatically when garbage-collected.
+    """
+    dtype = dtype if dtype is not None else as_array(ref).dtype
+    if is_device_buffer(ref):
+        return ctx.device.empty(count, dtype=dtype)
+    return np.empty(count, dtype=dtype)

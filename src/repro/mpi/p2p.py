@@ -1,0 +1,260 @@
+"""Point-to-point protocols: eager and receiver-driven rendezvous.
+
+The transport under every MPI call.  Messages below the eager threshold
+are buffered-sent: the payload snapshot travels immediately and the
+send completes locally.  Larger messages use rendezvous: the RTS
+carries the payload snapshot (sender-side copy semantics), the
+*receiver* prices the bulk transfer on the wire tracker once it has
+matched, and a CTS-completion flows back so the sender's ``wait``
+learns when its buffer was drained — which lets nonblocking exchange
+patterns complete without a progress thread.
+
+Device buffers ride the GPU-direct path (device-to-device alpha/beta,
+plus a per-message GDR surcharge) when the runtime is GPU-aware, or are
+staged through host memory chunk-by-chunk when it is not (§2.2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MPIRankError, MPITruncateError
+from repro.hw.cluster import PathScope
+from repro.hw.memory import Buffer, as_array, is_device_buffer
+from repro.mpi.config import MPIConfig
+from repro.mpi.datatypes import Datatype, datatype_of
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.sim.engine import RankContext
+from repro.sim.mailbox import ANY_SOURCE, ANY_TAG, Message
+
+_KIND_EAGER = "eager"
+_KIND_RTS = "rts"
+_KIND_CTS = "cts"
+
+_seq = itertools.count(1)
+
+
+def _wire_bytes(count: int, dt: Datatype) -> int:
+    return count * dt.wire_itemsize
+
+
+class P2PEndpoint:
+    """The p2p engine of one rank within one communicator context.
+
+    Ranks here are *world* ranks; the communicator translates before
+    calling.  ``ctx_id`` isolates traffic between communicators.
+    """
+
+    def __init__(self, ctx: RankContext, config: MPIConfig, ctx_id: int) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.ctx_id = ctx_id
+
+    # -- path pricing -----------------------------------------------------
+
+    def _path_for(self, peer_world: int, device_involved: bool,
+                  bidir: bool = False):
+        cluster = self.ctx.cluster
+        src, dst = self.ctx.device, self.ctx.device_of(peer_world)
+        path = cluster.path(src, dst)
+        resources = cluster.transfer_resources(src, dst)
+        alpha = path.alpha_us
+        if device_involved:
+            alpha += self.config.gpu_alpha_extra_us
+        if path.scope == PathScope.INTER:
+            # RDMA streams through the hops; calibrated against fabric
+            assert path.fabric is not None
+            beta = self.config.effective_beta(path.scope, path.fabric.beta_bpus)
+        else:
+            beta = self.config.effective_beta(path.scope, path.beta_bpus)
+            beta = path.bottleneck.effective_beta(beta)
+        if bidir and path.bottleneck.duplex_factor < 2.0:
+            beta *= path.bottleneck.duplex_factor / 2.0
+        return path, resources, alpha, beta
+
+    def _ctrl_latency(self, alpha: float) -> float:
+        """One-way latency of a tiny control message."""
+        return alpha + self.config.tag_matching_us
+
+    def _stage_to_host(self, nbytes: int) -> None:
+        """Charge a pipelined D2H (or H2D) staging copy."""
+        cfg = self.config
+        host = self.ctx.device.node.host_link
+        chunks = max(1, -(-nbytes // cfg.pipeline_chunk_bytes))
+        # pipelined: one chunk latency plus full-size wire time
+        self.ctx.clock.advance(host.alpha_us * chunks + nbytes / host.beta_bpus)
+
+    # -- send -------------------------------------------------------------
+
+    def isend(self, buf, dst_world: int, tag: int, count: Optional[int] = None,
+              datatype: Optional[Datatype] = None,
+              bidir: bool = False) -> Request:
+        """Nonblocking send; returns a :class:`Request`.
+
+        ``bidir`` marks a flow known to run simultaneously in both
+        directions over the same link (``Sendrecv`` with the same
+        partner); it prices the transfer at the duplex-shared rate.
+        """
+        ctx, cfg = self.ctx, self.config
+        if not 0 <= dst_world < ctx.size:
+            raise MPIRankError(f"send to invalid world rank {dst_world}")
+        arr = as_array(buf)
+        if count is None:
+            count = arr.size
+        dt = datatype or datatype_of(buf)
+        nbytes = _wire_bytes(count, dt)
+        device = is_device_buffer(buf)
+        snapshot = arr[:count].copy()
+
+        if device and not cfg.gpu_direct:
+            self._stage_to_host(nbytes)
+        t0 = ctx.clock.advance(cfg.send_overhead_us)
+        path, resources, alpha, beta = self._path_for(
+            dst_world, device and cfg.gpu_direct, bidir=bidir)
+        seq = next(_seq)
+        eager = nbytes <= cfg.eager_threshold(path.scope)
+        kind = _KIND_EAGER if eager else _KIND_RTS
+        if eager:
+            arrival = ctx.engine.wires.book(resources, t0, nbytes, beta, alpha,
+                                            path.bottleneck.duplex_factor)
+        else:
+            arrival = t0 + self._ctrl_latency(alpha)  # RTS control latency
+        msg = Message(src=ctx.rank, dst=dst_world, tag=tag, data=snapshot,
+                      depart_us=t0, arrival_us=arrival, nbytes=nbytes,
+                      meta={"kind": kind, "ctx_id": self.ctx_id, "seq": seq,
+                            "device": device, "dtname": dt.name,
+                            "resources": resources, "beta": beta,
+                            "alpha": alpha,
+                            "duplex": path.bottleneck.duplex_factor})
+        ctx.mailbox_of(dst_world).post(msg)
+        ctx.trace.record("send", t0 - cfg.send_overhead_us, t0,
+                         peer=dst_world, nbytes=nbytes, label=kind)
+        status = Status(source=ctx.rank, tag=tag, count=count, nbytes=nbytes)
+        if eager:
+            return Request.completed(status, kind="send")
+
+        def complete(blocking: bool) -> Optional[Status]:
+            def match_cts(m: Message) -> bool:
+                return (m.meta.get("kind") == _KIND_CTS
+                        and m.meta.get("seq") == seq)
+            if blocking:
+                cts = ctx.mailbox.match(src=dst_world, tag=ANY_TAG, where=match_cts)
+            else:
+                cts = ctx.mailbox.try_match(src=dst_world, tag=ANY_TAG, where=match_cts)
+                if cts is None:
+                    return None
+            ctx.clock.merge(cts.arrival_us)
+            return status
+
+        return Request(complete, kind="send")
+
+    def send(self, buf, dst_world: int, tag: int, count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> Status:
+        """Blocking send (completes locally for eager, on match for
+        rendezvous — standard MPI semantics)."""
+        return self.isend(buf, dst_world, tag, count, datatype).wait()
+
+    # -- receive ------------------------------------------------------------
+
+    def _match_incoming(self, src_world: int, tag: int, blocking: bool) -> Optional[Message]:
+        def match(m: Message) -> bool:
+            return (m.meta.get("ctx_id") == self.ctx_id
+                    and m.meta.get("kind") in (_KIND_EAGER, _KIND_RTS))
+        if blocking:
+            return self.ctx.mailbox.match(src=src_world, tag=tag, where=match)
+        return self.ctx.mailbox.try_match(src=src_world, tag=tag, where=match)
+
+    def _finish_recv(self, msg: Message, buf, count: Optional[int],
+                     datatype: Optional[Datatype]) -> Status:
+        ctx, cfg = self.ctx, self.config
+        arr = as_array(buf)
+        dt = datatype or datatype_of(buf)
+        capacity = (count if count is not None else arr.size) * dt.wire_itemsize
+        if msg.nbytes > capacity:
+            raise MPITruncateError(
+                f"rank {ctx.rank}: message of {msg.nbytes} B from {msg.src} "
+                f"truncates {capacity} B receive buffer")
+        recv_count = msg.data.size
+        device = is_device_buffer(buf)
+
+        if msg.meta["kind"] == _KIND_EAGER:
+            ctx.clock.merge(msg.arrival_us)
+            ctx.clock.advance(cfg.recv_overhead_us + cfg.tag_matching_us
+                              + msg.nbytes / cfg.unpack_bpus)
+        else:
+            # rendezvous: we price the bulk transfer now that we matched
+            ctx.clock.merge(msg.arrival_us)  # RTS arrival
+            t_ready = ctx.clock.advance(cfg.recv_overhead_us + cfg.tag_matching_us)
+            depart = max(msg.depart_us, t_ready + self._ctrl_latency(msg.meta["alpha"]))
+            arrival = ctx.engine.wires.book(
+                msg.meta["resources"], depart, msg.nbytes, msg.meta["beta"],
+                msg.meta["alpha"], msg.meta["duplex"])
+            ctx.clock.merge(arrival)
+            cts = Message(src=ctx.rank, dst=msg.src, tag=msg.tag, data=None,
+                          depart_us=t_ready, arrival_us=arrival, nbytes=0,
+                          meta={"kind": _KIND_CTS, "ctx_id": self.ctx_id,
+                                "seq": msg.meta["seq"]})
+            ctx.mailbox_of(msg.src).post(cts)
+
+        if device and not cfg.gpu_direct:
+            self._stage_to_host(msg.nbytes)  # H2D staging leg
+        target = arr[:recv_count]
+        if target.dtype == msg.data.dtype:
+            target[...] = msg.data
+        else:
+            target[...] = msg.data.astype(target.dtype)
+        ctx.trace.record("recv", msg.depart_us, ctx.now, peer=msg.src,
+                         nbytes=msg.nbytes, label=msg.meta["kind"])
+        return Status(source=msg.src, tag=msg.tag, count=recv_count,
+                      nbytes=msg.nbytes)
+
+    def recv(self, buf, src_world: int = ANY_SOURCE, tag: int = ANY_TAG,
+             count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> Status:
+        """Blocking receive into ``buf``."""
+        msg = self._match_incoming(src_world, tag, blocking=True)
+        assert msg is not None
+        return self._finish_recv(msg, buf, count, datatype)
+
+    def irecv(self, buf, src_world: int = ANY_SOURCE, tag: int = ANY_TAG,
+              count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> Request:
+        """Nonblocking receive; data lands at ``wait``/successful ``test``."""
+
+        def complete(blocking: bool) -> Optional[Status]:
+            msg = self._match_incoming(src_world, tag, blocking)
+            if msg is None:
+                return None
+            return self._finish_recv(msg, buf, count, datatype)
+
+        return Request(complete, kind="recv")
+
+    def probe(self, src_world: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe (``MPI_Iprobe``): Status of a matchable
+        message, or None."""
+        msg = self.ctx.mailbox.probe(src=src_world, tag=tag)
+        if msg is None or msg.meta.get("ctx_id") != self.ctx_id:
+            return None
+        return Status(source=msg.src, tag=msg.tag,
+                      count=msg.data.size if msg.data is not None else 0,
+                      nbytes=msg.nbytes)
+
+    def sendrecv(self, sendbuf, dst_world: int, recvbuf, src_world: int,
+                 sendtag: int, recvtag: int,
+                 sendcount: Optional[int] = None,
+                 recvcount: Optional[int] = None,
+                 datatype: Optional[Datatype] = None) -> Status:
+        """Combined send+receive (deadlock-free exchange primitive used
+        by ring/pairwise algorithms)."""
+        bidir = dst_world == src_world  # symmetric partner exchange
+        sreq = self.isend(sendbuf, dst_world, sendtag, sendcount, datatype,
+                          bidir=bidir)
+        rreq = self.irecv(recvbuf, src_world, recvtag, recvcount, datatype)
+        status = rreq.wait()
+        sreq.wait()
+        return status

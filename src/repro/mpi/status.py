@@ -1,0 +1,30 @@
+"""MPI_Status analogue: who sent what, how much."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.datatypes import Datatype
+
+
+@dataclass
+class Status:
+    """Result metadata of a completed receive.
+
+    Attributes:
+        source: rank of the sender (communicator-local).
+        tag: matched tag.
+        count: number of received elements.
+        nbytes: received payload size on the wire.
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    nbytes: int = 0
+
+    def get_count(self, datatype: Datatype) -> int:
+        """Element count interpreted in ``datatype`` (``MPI_Get_count``)."""
+        if datatype.itemsize == 0:
+            return 0
+        return self.nbytes // datatype.itemsize

@@ -1,0 +1,88 @@
+"""``mpix-omb``: the OSU-style micro-benchmark driver.
+
+Examples::
+
+    mpix-omb allreduce --system thetagpu --nodes 1 --stack hybrid
+    mpix-omb latency --system voyager --backend hccl
+    mpix-omb alltoall --system mri --nodes 2 --stack ccl --sizes 4:64K
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.hw.systems import make_system, system_names
+from repro.hw.vendors import default_ccl_for
+from repro.omb.collective import COLLECTIVE_BENCHMARKS
+from repro.omb.harness import OMBConfig
+from repro.omb.pt2pt import osu_bibw, osu_bw, osu_latency
+from repro.omb.stacks import STACK_NAMES, make_stack
+from repro.sim.engine import Engine
+from repro.util.sizes import format_size, parse_size, power_of_two_sizes
+from repro.util.tables import ascii_table, omb_header
+
+PT2PT = {"latency": osu_latency, "bw": osu_bw, "bibw": osu_bibw}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(prog="mpix-omb", description=__doc__)
+    parser.add_argument("benchmark",
+                        choices=sorted(COLLECTIVE_BENCHMARKS) + sorted(PT2PT))
+    parser.add_argument("--system", default="thetagpu",
+                        choices=system_names())
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--ranks", type=int, default=None,
+                        help="default: one per device (2 for pt2pt)")
+    parser.add_argument("--ranks-per-node", type=int, default=None)
+    parser.add_argument("--backend", default=None,
+                        help="CCL backend (default: the system's native)")
+    parser.add_argument("--stack", default="hybrid", choices=STACK_NAMES,
+                        help="communication stack (collectives only)")
+    parser.add_argument("--sizes", default="4:4M",
+                        help="MIN:MAX sweep, e.g. 4:4M")
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--warmup", type=int, default=2)
+
+    args = parser.parse_args(argv)
+    lo, hi = (parse_size(p) for p in args.sizes.split(":"))
+    config = OMBConfig(sizes=tuple(power_of_two_sizes(lo, hi)),
+                       warmup=args.warmup, iterations=args.iterations)
+    cluster = make_system(args.system, args.nodes)
+    backend = args.backend or default_ccl_for(cluster.devices[0].vendor)
+
+    if args.benchmark in PT2PT:
+        bench = PT2PT[args.benchmark]
+        nranks = args.ranks or 2
+        engine = Engine(cluster, nranks=nranks,
+                        ranks_per_node=args.ranks_per_node)
+        data = engine.run(lambda ctx: bench(ctx, backend, config))[0]
+        unit = "Latency (us)" if args.benchmark == "latency" else "Bandwidth (MB/s)"
+        print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks))
+        print(ascii_table(["Size", unit],
+                          [[format_size(s), v] for s, v in sorted(data.items())]))
+        return 0
+
+    bench = COLLECTIVE_BENCHMARKS[args.benchmark]
+    nranks = args.ranks or (cluster.device_count if args.ranks_per_node is None
+                            else cluster.node_count * args.ranks_per_node)
+    engine = Engine(cluster, nranks=nranks,
+                    ranks_per_node=args.ranks_per_node)
+
+    def body(ctx):
+        return bench(ctx, make_stack(ctx, args.stack, backend), config)
+
+    stats = engine.run(body)[0]
+    print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks,
+                     extra=f"Stack: {args.stack}"))
+    print(ascii_table(
+        ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
+        [[format_size(s), st.avg_us, st.min_us, st.max_us]
+         for s, st in sorted(stats.items())]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

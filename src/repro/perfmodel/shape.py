@@ -1,0 +1,93 @@
+"""Communicator shape: the topology facts cost models need.
+
+A :class:`CommShape` condenses "which devices does this communicator
+span" into the handful of numbers the closed-form models use: rank
+count, node count, ranks per node, and the intra/inter link models of
+the underlying system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.hw.cluster import Cluster
+from repro.hw.links import LinkModel
+
+
+@dataclass(frozen=True)
+class CommShape:
+    """Topology summary of one communicator.
+
+    Attributes:
+        p: number of ranks.
+        nodes: number of distinct nodes spanned.
+        ppn: max ranks on any one node.
+        intra: intra-node link model (device-pair path bottleneck).
+        inter: inter-node fabric link model (None for 1-node comms).
+        switched: True when intra-node devices sit behind a switch
+            (private per-pair bandwidth); False for a shared bus.
+        hbm_bpus: device memory bandwidth, bytes/us (reduction kernels).
+        kernel_launch_us: device kernel launch overhead.
+    """
+
+    p: int
+    nodes: int
+    ppn: int
+    intra: LinkModel
+    inter: Optional[LinkModel]
+    switched: bool
+    hbm_bpus: float = 1_500_000.0
+    kernel_launch_us: float = 3.0
+
+    @property
+    def spans_nodes(self) -> bool:
+        """True when traffic crosses the fabric."""
+        return self.nodes > 1
+
+    def bottleneck_beta(self, bw_eff_intra: float, bw_eff_inter: float) -> float:
+        """Slowest edge a node-contiguous ring crosses, bytes/us.
+
+        Inside a switched node the ring edge is a private device pair;
+        on a bus, every on-node edge shares the bus, dividing it among
+        (ppn-1) concurrent hops; across nodes each NIC carries one ring
+        edge per direction.
+        """
+        intra_beta = self.intra.beta_bpus * bw_eff_intra
+        if not self.switched and self.ppn > 2:
+            intra_beta /= (self.ppn - 1)
+        if not self.spans_nodes:
+            return intra_beta
+        assert self.inter is not None
+        return min(intra_beta, self.inter.beta_bpus * bw_eff_inter)
+
+    def nic_beta(self, bw_eff_inter: float) -> float:
+        """Per-node NIC bandwidth, bytes/us (0-safe only when
+        spanning nodes)."""
+        if self.inter is None:
+            raise TopologyError("single-node communicator has no NIC path")
+        return self.inter.beta_bpus * bw_eff_inter
+
+
+def shape_of(cluster: Cluster, ranks: Sequence[int],
+             ranks_per_node: Optional[int] = None) -> CommShape:
+    """Compute the :class:`CommShape` of a rank set on a cluster.
+
+    ``ranks`` are job ranks placed by the engine's block placement
+    (``Cluster.device_for_rank``).
+    """
+    if not ranks:
+        raise TopologyError("empty rank set")
+    devs = [cluster.device_for_rank(r, ranks_per_node) for r in ranks]
+    node_ids = [cluster.node_index_of(d) for d in devs]
+    distinct = sorted(set(node_ids))
+    ppn = max(node_ids.count(n) for n in distinct)
+    node0 = cluster.nodes[distinct[0]]
+    inter = cluster.fabric if len(distinct) > 1 else None
+    dev0 = devs[0]
+    return CommShape(p=len(ranks), nodes=len(distinct), ppn=ppn,
+                     intra=node0.intra_link, inter=inter,
+                     switched=node0.switched,
+                     hbm_bpus=dev0.hbm_bw / 1e6,
+                     kernel_launch_us=dev0.kernel_launch_us)

@@ -1,0 +1,263 @@
+"""SPMD launcher: one thread per MPI rank, virtual clocks, shared slots.
+
+:func:`run_spmd` is the ``mpiexec`` of this reproduction: it places
+``nranks`` rank programs onto a cluster's accelerators (block,
+node-major — the paper's one-rank-per-device configuration), runs them
+as threads, and returns their per-rank return values.
+
+The engine also hosts :class:`CollectiveSlot` rendezvous objects: the
+mechanism by which a simulated CCL collective gathers every rank's
+buffer and virtual arrival time, lets exactly one thread compute the
+result and its completion time, and distributes both to all parties.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, RankFailedError, SimulationError
+from repro.hw.cluster import Cluster
+from repro.hw.device import Accelerator
+from repro.sim.clock import VirtualClock
+from repro.sim.mailbox import Mailbox, ProgressMonitor
+from repro.sim.tracing import Trace
+from repro.sim.wire import WireTracker
+
+
+class CollectiveSlot:
+    """One-shot all-parties rendezvous with a single-computer reduction.
+
+    All ``parties`` threads call :meth:`exchange`; the last to arrive
+    runs ``compute(payloads)`` (a dict rank -> payload) and its return
+    value is handed to every caller.
+    """
+
+    def __init__(self, key: Any, parties: int, monitor: ProgressMonitor,
+                 on_finish=None) -> None:
+        if parties <= 0:
+            raise SimulationError(f"collective slot needs parties > 0, got {parties}")
+        self.key = key
+        self.parties = parties
+        self._monitor = monitor
+        self._on_finish = on_finish
+        self._cond = threading.Condition()
+        self._payloads: Dict[int, Any] = {}
+        self._result: Any = None
+        self._done = False
+        self._retrieved = 0
+
+    def exchange(self, rank: int, payload: Any,
+                 compute: Callable[[Dict[int, Any]], Any]) -> Any:
+        """Deposit ``payload``, wait for all parties, return the result."""
+        with self._cond:
+            if rank in self._payloads:
+                raise SimulationError(
+                    f"rank {rank} arrived twice at collective {self.key!r}")
+            self._payloads[rank] = payload
+            self._monitor.note_progress()
+            if len(self._payloads) == self.parties:
+                self._result = compute(self._payloads)
+                self._done = True
+                self._cond.notify_all()
+            else:
+                while not self._done:
+                    self._cond.wait(timeout=Mailbox.POLL_S)
+                    if not self._done and self._monitor.stalled():
+                        raise DeadlockError(
+                            f"rank {rank} waiting in collective {self.key!r}: "
+                            f"{len(self._payloads)}/{self.parties} arrived")
+            self._retrieved += 1
+            result = self._result
+            if self._retrieved == self.parties:
+                # drop payload/result references so finished slots hold
+                # no buffer snapshots, and let the engine reap the slot
+                self._payloads.clear()
+                self._result = None
+                if self._on_finish is not None:
+                    self._on_finish(self)
+            return result
+
+    @property
+    def finished(self) -> bool:
+        """True once every party has retrieved the result.
+
+        Lock-free read: ``_retrieved`` is a single int updated under
+        the slot condition; avoiding the lock here prevents a
+        cond-vs-slots-lock ordering inversion with the engine's reaper.
+        """
+        return self._retrieved == self.parties
+
+
+class RankContext:
+    """Everything one rank program sees.
+
+    Attributes:
+        rank / size: position in the job.
+        device: the accelerator this rank drives.
+        clock: the rank's virtual clock (microseconds).
+        trace: per-rank trace log.
+        engine: back-reference for mailbox/slot lookups.
+    """
+
+    def __init__(self, engine: "Engine", rank: int) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.size = engine.nranks
+        self.device: Accelerator = engine.device_of(rank)
+        self.clock = VirtualClock()
+        self.mailbox = engine.mailbox_of(rank)
+        self.trace = Trace(rank, enabled=engine.trace_enabled)
+        self._slot_uses: Dict[Any, int] = {}
+
+    @property
+    def cluster(self) -> Cluster:
+        """The cluster the job runs on."""
+        return self.engine.cluster
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (us)."""
+        return self.clock.now
+
+    def mailbox_of(self, rank: int) -> Mailbox:
+        """Another rank's mailbox (for posting sends)."""
+        return self.engine.mailbox_of(rank)
+
+    def device_of(self, rank: int) -> Accelerator:
+        """Another rank's accelerator (for path lookups)."""
+        return self.engine.device_of(rank)
+
+    def collective_slot(self, key: Any, parties: Optional[int] = None) -> CollectiveSlot:
+        """The rendezvous slot for a keyed collective call.
+
+        Keys are qualified with this rank's per-key use count, so the
+        Nth call with a key on one rank always meets the Nth call on
+        every other rank — repeated keys cannot collide across skewed
+        repetitions (SPMD programs call collectives in identical
+        order, keeping the counts aligned).
+        """
+        use = self._slot_uses.get(key, 0)
+        self._slot_uses[key] = use + 1
+        return self.engine.collective_slot((key, use), parties or self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RankContext {self.rank}/{self.size} on {self.device.model}>"
+
+
+class Engine:
+    """Owns the shared state of one SPMD run."""
+
+    def __init__(self, cluster: Cluster, nranks: Optional[int] = None,
+                 ranks_per_node: Optional[int] = None, trace: bool = False,
+                 progress_timeout_s: float = 10.0) -> None:
+        self.cluster = cluster
+        self.ranks_per_node = ranks_per_node
+        capacity = (cluster.node_count * ranks_per_node if ranks_per_node
+                    else cluster.device_count)
+        self.nranks = nranks if nranks is not None else capacity
+        if self.nranks <= 0:
+            raise SimulationError(f"nranks must be positive, got {self.nranks}")
+        if self.nranks > capacity:
+            raise SimulationError(
+                f"{self.nranks} ranks exceed cluster capacity {capacity}")
+        self.trace_enabled = trace
+        self.monitor = ProgressMonitor(progress_timeout_s)
+        self._mailboxes = [Mailbox(r, self.monitor) for r in range(self.nranks)]
+        self._devices = [cluster.device_for_rank(r, ranks_per_node)
+                         for r in range(self.nranks)]
+        self._slots: Dict[Any, CollectiveSlot] = {}
+        self._slots_lock = threading.Lock()
+        self.wires = WireTracker()
+        self._seq = itertools.count()
+        self.contexts: List[RankContext] = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def mailbox_of(self, rank: int) -> Mailbox:
+        """Mailbox of ``rank``."""
+        return self._mailboxes[rank]
+
+    def device_of(self, rank: int) -> Accelerator:
+        """Accelerator assigned to ``rank``."""
+        return self._devices[rank]
+
+    def collective_slot(self, key: Any, parties: int) -> CollectiveSlot:
+        """Get-or-create the rendezvous slot for ``key``.
+
+        Slots are reclaimed once all parties retrieved their result.
+        """
+        with self._slots_lock:
+            slot = self._slots.get(key)
+            if slot is None or slot.finished:
+                slot = CollectiveSlot(key, parties, self.monitor,
+                                      on_finish=self._reap_slot)
+                self._slots[key] = slot
+            if slot.parties != parties:
+                raise SimulationError(
+                    f"collective {key!r} called with {parties} parties, "
+                    f"but an in-flight call has {slot.parties}")
+            return slot
+
+    def _reap_slot(self, slot: CollectiveSlot) -> None:
+        with self._slots_lock:
+            if self._slots.get(slot.key) is slot:
+                del self._slots[slot.key]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(ctx, *args, **kwargs)`` on every rank; return the
+        per-rank return values in rank order.
+
+        Raises :class:`RankFailedError` if any rank raised.
+        """
+        self.contexts = [RankContext(self, r) for r in range(self.nranks)]
+        results: List[Any] = [None] * self.nranks
+        failures: Dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def runner(ctx: RankContext) -> None:
+            try:
+                results[ctx.rank] = fn(ctx, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with lock:
+                    failures[ctx.rank] = exc
+                # a failed rank can no longer make progress; let peers
+                # notice the stall quickly rather than after the timeout
+                self.monitor.timeout_s = min(self.monitor.timeout_s, 2.0)
+
+        self.monitor.note_progress()
+        threads = [threading.Thread(target=runner, args=(ctx,),
+                                    name=f"rank{ctx.rank}", daemon=True)
+                   for ctx in self.contexts]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            # deadlocks secondary to a real failure are noise; prefer
+            # the primary errors when both kinds are present
+            primary = {r: e for r, e in failures.items()
+                       if not isinstance(e, DeadlockError)}
+            raise RankFailedError(primary or failures)
+        return results
+
+    def next_sequence(self) -> int:
+        """A run-unique id (collective keys, message fingerprints)."""
+        return next(self._seq)
+
+
+def run_spmd(cluster: Cluster, fn: Callable[..., Any], nranks: Optional[int] = None,
+             ranks_per_node: Optional[int] = None, trace: bool = False,
+             progress_timeout_s: float = 10.0, *args: Any, **kwargs: Any) -> List[Any]:
+    """One-shot convenience wrapper: build an :class:`Engine` and run.
+
+    >>> cluster = make_system("thetagpu", 1)          # doctest: +SKIP
+    >>> run_spmd(cluster, lambda ctx: ctx.rank, nranks=4)   # doctest: +SKIP
+    [0, 1, 2, 3]
+    """
+    engine = Engine(cluster, nranks=nranks, ranks_per_node=ranks_per_node,
+                    trace=trace, progress_timeout_s=progress_timeout_s)
+    return engine.run(fn, *args, **kwargs)

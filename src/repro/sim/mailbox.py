@@ -1,0 +1,147 @@
+"""Tag/source-matched message delivery between rank threads.
+
+A :class:`Mailbox` is one rank's unexpected-message queue.  Senders
+:meth:`post`; receivers :meth:`match` on ``(source, tag)`` with MPI
+wildcard semantics (``ANY_SOURCE``/``ANY_TAG``) and FIFO ordering per
+(source, tag) pair — the MPI non-overtaking rule.
+
+Blocking coordinates with the engine's :class:`ProgressMonitor`: every
+delivery notes progress, and a receiver that waits longer than the
+progress timeout without *any* rank making progress declares the run
+deadlocked instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _walltime
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import DeadlockError
+
+#: MPI_ANY_SOURCE analogue.
+ANY_SOURCE = -1
+#: MPI_ANY_TAG analogue.
+ANY_TAG = -1
+
+
+class ProgressMonitor:
+    """Shared liveness tracker for one SPMD run.
+
+    Any communication progress (message post, rendezvous arrival)
+    bumps a wall-clock watermark.  A blocked thread that observes no
+    global progress for ``timeout_s`` raises :class:`DeadlockError`.
+    The timeout is wall-clock but only gates *error detection*; it never
+    influences measured virtual time.
+    """
+
+    def __init__(self, timeout_s: float = 10.0) -> None:
+        self.timeout_s = timeout_s
+        self._last = _walltime.monotonic()
+        self.deadlocked = False
+
+    def note_progress(self) -> None:
+        """Record that some rank made communication progress."""
+        self._last = _walltime.monotonic()
+
+    def stalled(self) -> bool:
+        """True once the run has been silent past the timeout."""
+        if self.deadlocked:
+            return True
+        if _walltime.monotonic() - self._last > self.timeout_s:
+            self.deadlocked = True
+        return self.deadlocked
+
+
+@dataclass
+class Message:
+    """One in-flight message.
+
+    Attributes:
+        src: sending rank.
+        dst: destination rank.
+        tag: MPI tag.
+        data: payload (numpy array snapshot taken at send time, or any
+            Python object for pickled sends).
+        depart_us: sender's virtual time when the message left.
+        arrival_us: virtual time at which it is available at ``dst``.
+        nbytes: payload size on the wire.
+        meta: protocol scratch (rendezvous handshakes etc.).
+    """
+
+    src: int
+    dst: int
+    tag: int
+    data: Any
+    depart_us: float
+    arrival_us: float
+    nbytes: int
+    meta: dict = field(default_factory=dict)
+
+
+class Mailbox:
+    """One rank's matched-receive queue."""
+
+    #: polling interval while blocked (wall seconds); only affects how
+    #: quickly deadlocks are noticed, never virtual time.
+    POLL_S = 0.02
+
+    def __init__(self, rank: int, monitor: ProgressMonitor) -> None:
+        self.rank = rank
+        self.monitor = monitor
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: List[Message] = []
+
+    def post(self, msg: Message) -> None:
+        """Deliver ``msg`` (called from the sender's thread)."""
+        with self._cond:
+            self._queue.append(msg)
+            self.monitor.note_progress()
+            self._cond.notify_all()
+
+    def _find(self, src: int, tag: int,
+              where: Optional[Callable[[Message], bool]]) -> Optional[int]:
+        for i, m in enumerate(self._queue):
+            if src != ANY_SOURCE and m.src != src:
+                continue
+            if tag != ANY_TAG and m.tag != tag:
+                continue
+            if where is not None and not where(m):
+                continue
+            return i
+        return None
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
+        """Non-destructive match (MPI_Iprobe): the message stays queued."""
+        with self._lock:
+            i = self._find(src, tag, None)
+            return self._queue[i] if i is not None else None
+
+    def try_match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+                  where: Optional[Callable[[Message], bool]] = None) -> Optional[Message]:
+        """Dequeue the first matching message, or None."""
+        with self._lock:
+            i = self._find(src, tag, where)
+            return self._queue.pop(i) if i is not None else None
+
+    def match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+              where: Optional[Callable[[Message], bool]] = None) -> Message:
+        """Blocking matched receive (FIFO per source/tag pair)."""
+        with self._cond:
+            while True:
+                i = self._find(src, tag, where)
+                if i is not None:
+                    return self._queue.pop(i)
+                self._cond.wait(timeout=self.POLL_S)
+                if self.monitor.stalled():
+                    raise DeadlockError(
+                        f"rank {self.rank} blocked in recv(src={src}, tag={tag}); "
+                        f"no rank made progress for {self.monitor.timeout_s}s")
+
+    @property
+    def pending(self) -> int:
+        """Number of unmatched messages (diagnostics)."""
+        with self._lock:
+            return len(self._queue)

@@ -1,0 +1,82 @@
+"""Chrome-trace export of per-rank virtual timelines.
+
+Run an engine with ``trace=True`` and feed the contexts' traces here:
+the result is the ``chrome://tracing`` / Perfetto JSON format, one
+track per rank, one slice per communication/kernel event — the view a
+developer uses to see where a collective's time goes (rendezvous
+stalls, ring step ladders, CCL launch gaps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sim.tracing import Trace
+
+#: slice categories by event kind (colors group in the viewer)
+_CATEGORIES = {
+    "send": "p2p",
+    "recv": "p2p",
+    "ccl-send": "ccl",
+    "ccl-recv": "ccl",
+    "ccl": "ccl",
+    "kernel": "compute",
+    "copy": "compute",
+}
+
+
+def chrome_trace(traces: Sequence[Trace],
+                 process_name: str = "mpix") -> Dict:
+    """Build a Chrome trace-event dict from per-rank traces.
+
+    Args:
+        traces: one :class:`Trace` per rank (``ctx.trace``).
+        process_name: label of the trace's single process.
+    """
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for trace in traces:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": trace.rank,
+            "args": {"name": f"rank {trace.rank}"},
+        })
+        for ev in trace.events:
+            events.append({
+                "name": ev.label or ev.kind,
+                "cat": _CATEGORIES.get(ev.kind, "other"),
+                "ph": "X",                       # complete event
+                "pid": 0,
+                "tid": trace.rank,
+                "ts": ev.start_us,
+                "dur": max(ev.duration_us, 0.01),
+                "args": {"peer": ev.peer, "bytes": ev.nbytes,
+                         "kind": ev.kind},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(traces: Sequence[Trace], path: str,
+                      process_name: str = "mpix") -> None:
+    """Write the Chrome trace JSON to ``path`` (open it in
+    ``chrome://tracing`` or https://ui.perfetto.dev)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(traces, process_name), fh)
+
+
+def summarize(traces: Sequence[Trace]) -> Dict[str, Dict[str, float]]:
+    """Aggregate time per event kind per rank (quick profiling view)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for trace in traces:
+        kinds: Dict[str, float] = {}
+        for ev in trace.events:
+            kinds[ev.kind] = kinds.get(ev.kind, 0.0) + ev.duration_us
+        out[f"rank{trace.rank}"] = kinds
+    return out

@@ -1,0 +1,83 @@
+"""Wire occupancy: serializing transfers over shared links.
+
+A bandwidth test pushes a window of back-to-back messages; without
+occupancy tracking, each would be priced independently and measured
+bandwidth would exceed the wire.  The :class:`WireTracker` books every
+transfer on the directed resources its path crosses (a device-pair wire
+inside a switched node, the node-wide bus of a PCIe system, the NIC of
+each node for inter-node traffic): a transfer starts when the sender is
+ready *and* every resource is free, and holds all of them for
+``nbytes / beta`` microseconds.
+
+Duplex handling is *not* done here: opposing flows book independent
+per-direction resources at the beta the caller priced.  Layers that
+know a flow is bidirectional (MPI ``Sendrecv``, a CCL group that both
+sends to and receives from the same peer) price it with the link's
+duplex-shared bandwidth before booking — keeping results deterministic
+(an emergent reverse-direction-busy check here would depend on thread
+interleaving of bookings, not on virtual time).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Sequence, Tuple
+
+Resource = Tuple  # hashable resource key; last element is the direction
+
+
+def reverse_key(res: Resource) -> Resource:
+    """The same resource in the opposite direction."""
+    *head, direction = res
+    flipped = {"fwd": "rev", "rev": "fwd", "out": "in", "in": "out"}.get(direction)
+    if flipped is None:
+        return res
+    return tuple(head) + (flipped,)
+
+
+class WireTracker:
+    """Books transfers onto directed link resources."""
+
+    def __init__(self) -> None:
+        self._free: Dict[Resource, float] = {}
+        self._lock = threading.Lock()
+
+    def book(self, resources: Sequence[Resource], depart_us: float,
+             nbytes: int, beta_bpus: float, alpha_us: float,
+             duplex_factor: float = 2.0) -> float:
+        """Schedule one transfer; returns its arrival time.
+
+        Args:
+            resources: directed resource keys the transfer occupies.
+            depart_us: sender-side virtual time the message is ready.
+            nbytes: payload size.
+            beta_bpus: path bandwidth, bytes/us (callers pre-apply any
+                duplex sharing for flows known to be bidirectional).
+            alpha_us: path latency added after the wire time.
+            duplex_factor: accepted for caller convenience; not used
+                here — see the module docstring for why duplex is
+                priced by the protocol layers, not the tracker.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if not resources:
+            # purely local (same-device) transfer: no shared wire
+            return depart_us + alpha_us + (nbytes / beta_bpus if beta_bpus else 0.0)
+        with self._lock:
+            start = depart_us
+            for r in resources:
+                start = max(start, self._free.get(r, 0.0))
+            wire = nbytes / beta_bpus if beta_bpus else 0.0
+            for r in resources:
+                self._free[r] = start + wire
+            return start + wire + alpha_us
+
+    def free_at(self, resource: Resource) -> float:
+        """When ``resource`` next becomes free (0.0 if never used)."""
+        with self._lock:
+            return self._free.get(resource, 0.0)
+
+    def reset(self) -> None:
+        """Forget all bookings (benchmark repetitions)."""
+        with self._lock:
+            self._free.clear()

@@ -1,0 +1,23 @@
+"""Shared utilities: size parsing, statistics, result records, tables."""
+
+from repro.util.sizes import (
+    format_size,
+    parse_size,
+    power_of_two_sizes,
+    DEFAULT_OMB_SIZES,
+)
+from repro.util.stats import RunningStats, percentile
+from repro.util.records import ResultRecord, ResultSet
+from repro.util.tables import ascii_table
+
+__all__ = [
+    "format_size",
+    "parse_size",
+    "power_of_two_sizes",
+    "DEFAULT_OMB_SIZES",
+    "RunningStats",
+    "percentile",
+    "ResultRecord",
+    "ResultSet",
+    "ascii_table",
+]

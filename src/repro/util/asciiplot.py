@@ -1,0 +1,100 @@
+"""ASCII line charts for benchmark output.
+
+The figure benches print the paper's series; a terminal log-log chart
+makes the crossover shapes visible without leaving the shell — the
+same curves the paper plots, in 25 rows of monospace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.sizes import format_size
+
+#: glyph per series, cycled
+GLYPHS = "ox+*#@%&"
+
+
+def _log(v: float) -> float:
+    return math.log10(max(v, 1e-12))
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 72, height: int = 20,
+               logx: bool = True, logy: bool = True,
+               title: Optional[str] = None,
+               ylabel: str = "us") -> str:
+    """Render multiple (x, y) series as a monospace chart.
+
+    Args:
+        series: label -> [(x, y), ...]; shared axes.
+        width/height: plot area in characters.
+        logx/logy: logarithmic axes (the paper's figures are log-log).
+        title: optional heading.
+        ylabel: unit label on the y axis.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    fx = _log if logx else float
+    fy = _log if logy else float
+    x_lo, x_hi = fx(min(xs)), fx(max(xs))
+    y_lo, y_hi = fy(min(ys)), fy(max(ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, pts) in enumerate(series.items()):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        for x, y in pts:
+            col = int(round((fx(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((fy(y) - y_lo) / y_span * (height - 1)))
+            row = height - 1 - row
+            if grid[row][col] == " " or grid[row][col] == glyph:
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = "?"  # overlapping series
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = 10 ** y_hi if logy else y_hi
+    bottom = 10 ** y_lo if logy else y_lo
+    lines.append(f"{_fmt(top):>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{_fmt(bottom):>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    left = 10 ** x_lo if logx else x_lo
+    right = 10 ** x_hi if logx else x_hi
+    x_left = format_size(int(round(left))) if logx else _fmt(left)
+    x_right = format_size(int(round(right))) if logx else _fmt(right)
+    lines.append(" " * 12 + x_left + " " * max(1, width - len(x_left)
+                                               - len(x_right)) + x_right)
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {label}"
+                        for i, label in enumerate(series))
+    lines.append(f"  [{ylabel}]  {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    if v >= 10000:
+        return f"{v:,.0f}"
+    if v >= 1:
+        return f"{v:.1f}"
+    return f"{v:.3f}"
+
+
+def plot_result_set(results, width: int = 72, height: int = 18,
+                    title: Optional[str] = None) -> str:
+    """Chart a :class:`~repro.util.records.ResultSet` (series by
+    label, x = sweep variable)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for name in results.series_names():
+        series[name] = [(r.x, r.value) for r in results.series(name)]
+    unit = results[0].unit if len(results) else ""
+    return ascii_plot(series, width=width, height=height, title=title,
+                      ylabel=unit)

@@ -1,0 +1,140 @@
+"""Result records shared by OMB, the experiments, and EXPERIMENTS.md.
+
+A :class:`ResultRecord` is one measured point (one message size of one
+benchmark under one configuration); a :class:`ResultSet` is an ordered,
+filterable collection with CSV/JSON export — the common currency between
+benchmark harnesses and report formatters.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One measured data point.
+
+    Attributes:
+        experiment: experiment id, e.g. ``"fig5a"``.
+        series: curve label, e.g. ``"Proposed Hybrid xCCL"``.
+        x: the sweep variable (message size in bytes, batch size, ...).
+        value: the measured metric in ``unit``.
+        unit: ``"us"``, ``"MB/s"``, ``"img/s"``, ...
+        meta: free-form extra fields (system, backend, nodes, ppn...).
+    """
+
+    experiment: str
+    series: str
+    x: float
+    value: float
+    unit: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to a plain dict (meta keys inlined, prefixed)."""
+        d = asdict(self)
+        meta = d.pop("meta")
+        for k, v in meta.items():
+            d[f"meta.{k}"] = v
+        return d
+
+
+class ResultSet:
+    """Ordered collection of :class:`ResultRecord` with query helpers."""
+
+    def __init__(self, records: Optional[Iterable[ResultRecord]] = None) -> None:
+        self._records: List[ResultRecord] = list(records or [])
+
+    def add(self, record: ResultRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ResultRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, i: int) -> ResultRecord:
+        return self._records[i]
+
+    # -- queries ------------------------------------------------------
+
+    def filter(self, predicate: Callable[[ResultRecord], bool]) -> "ResultSet":
+        """New ResultSet with records matching ``predicate``."""
+        return ResultSet(r for r in self._records if predicate(r))
+
+    def series(self, name: str) -> "ResultSet":
+        """Records of one curve, ordered by x."""
+        sub = [r for r in self._records if r.series == name]
+        sub.sort(key=lambda r: r.x)
+        return ResultSet(sub)
+
+    def series_names(self) -> List[str]:
+        """Distinct series labels in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.series, None)
+        return list(seen)
+
+    def xs(self) -> List[float]:
+        """Sorted distinct x values."""
+        return sorted({r.x for r in self._records})
+
+    def value_at(self, series: str, x: float) -> float:
+        """The value of ``series`` at ``x``; KeyError if absent."""
+        for r in self._records:
+            if r.series == series and r.x == x:
+                return r.value
+        raise KeyError(f"no record for series={series!r} x={x}")
+
+    def crossover(self, a: str, b: str) -> Optional[float]:
+        """Smallest x at which series ``b`` becomes <= series ``a``.
+
+        Used to locate the MPI/CCL crossover points the paper reports
+        (e.g. 16 KB for NCCL allreduce in Fig 1a).  Returns None when
+        ``b`` never wins.
+        """
+        xs = sorted(set(r.x for r in self._records if r.series == a)
+                    & set(r.x for r in self._records if r.series == b))
+        for x in xs:
+            if self.value_at(b, x) <= self.value_at(a, x):
+                return x
+        return None
+
+    # -- export -------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render all records as CSV text (meta keys become columns)."""
+        rows = [r.as_dict() for r in self._records]
+        cols: List[str] = []
+        for row in rows:
+            for k in row:
+                if k not in cols:
+                    cols.append(k)
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=cols)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def to_json(self) -> str:
+        """Render all records as a JSON array."""
+        return json.dumps([r.as_dict() for r in self._records], indent=2,
+                          sort_keys=True, default=str)
+
+    def save(self, path: str) -> None:
+        """Write CSV (``.csv``) or JSON (anything else) to ``path``."""
+        text = self.to_csv() if path.endswith(".csv") else self.to_json()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)

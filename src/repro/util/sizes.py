@@ -1,0 +1,97 @@
+"""Message-size helpers shared by the OMB harness and the experiments.
+
+OSU Micro-Benchmarks sweep power-of-two message sizes; the paper's
+figures run from a few bytes up to 4 MB.  These helpers parse and format
+human-readable sizes (``"16K"``, ``"4M"``) and generate sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_size(text) -> int:
+    """Parse a human-readable size like ``"4M"`` or ``"16K"`` to bytes.
+
+    Integers pass through unchanged.  Raises :class:`ConfigError` for
+    malformed input or negative sizes.
+    """
+    if isinstance(text, bool):
+        raise ConfigError(f"not a size: {text!r}")
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"negative size: {text}")
+        return text
+    if not isinstance(text, str):
+        raise ConfigError(f"not a size: {text!r}")
+    s = text.strip().upper()
+    num = s
+    suffix = ""
+    for i, ch in enumerate(s):
+        if not (ch.isdigit() or ch == "."):
+            num, suffix = s[:i], s[i:].strip()
+            break
+    if not num:
+        raise ConfigError(f"malformed size: {text!r}")
+    if suffix not in _SUFFIXES:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}")
+    value = float(num) * _SUFFIXES[suffix]
+    if value < 0:
+        raise ConfigError(f"negative size: {text!r}")
+    return int(value)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way OMB prints its size column."""
+    if nbytes < 0:
+        raise ConfigError(f"negative size: {nbytes}")
+    if nbytes >= GIB and nbytes % GIB == 0:
+        return f"{nbytes // GIB}G"
+    if nbytes >= MIB and nbytes % MIB == 0:
+        return f"{nbytes // MIB}M"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB}K"
+    return str(nbytes)
+
+
+def power_of_two_sizes(min_bytes: int = 4, max_bytes: int = 4 * MIB) -> List[int]:
+    """Return the inclusive power-of-two sweep ``[min_bytes .. max_bytes]``.
+
+    ``min_bytes`` is rounded up and ``max_bytes`` down to powers of two.
+    """
+    if min_bytes <= 0 or max_bytes <= 0:
+        raise ConfigError("sizes must be positive")
+    if min_bytes > max_bytes:
+        raise ConfigError(f"min {min_bytes} > max {max_bytes}")
+    sizes = []
+    size = 1
+    while size < min_bytes:
+        size *= 2
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+#: The default OMB sweep used throughout the paper's figures: 4 B – 4 MB.
+DEFAULT_OMB_SIZES: List[int] = power_of_two_sizes(4, 4 * MIB)

@@ -1,0 +1,119 @@
+"""Small statistics helpers used by the benchmark harness.
+
+OMB reports min/max/avg latency over iterations; the DL trainer reports
+throughput percentiles.  We keep a dependency-free streaming
+implementation (Welford) plus an exact percentile on stored samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max via Welford's algorithm.
+
+    >>> rs = RunningStats()
+    >>> for x in (1.0, 2.0, 3.0): rs.push(x)
+    >>> rs.mean
+    2.0
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, x: float) -> None:
+        """Add one sample."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Add many samples."""
+        for x in xs:
+            self.push(x)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean; 0.0 when empty."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 with <2 samples."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample; +inf when empty."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest sample; -inf when empty."""
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new RunningStats equivalent to seeing both streams."""
+        if other.n == 0:
+            out = RunningStats()
+            out.n, out._mean, out._m2 = self.n, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        if self.n == 0:
+            return other.merge(self)
+        out = RunningStats()
+        out.n = self.n + other.n
+        delta = other._mean - self._mean
+        out._mean = self._mean + delta * other.n / out.n
+        out._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / out.n
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact linear-interpolated percentile of ``samples``.
+
+    ``q`` is in [0, 100].  Raises ``ValueError`` on empty input.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data: List[float] = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples."""
+    if not samples:
+        raise ValueError("geometric mean of empty sequence")
+    if any(x <= 0 for x in samples):
+        raise ValueError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))

@@ -1,0 +1,68 @@
+"""ASCII table rendering for benchmark output.
+
+OMB prints fixed-width columns (``# Size   Latency (us)``); the
+experiment reports print paper-vs-measured tables.  One formatter
+serves both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0.00"
+        if abs(value) >= 10000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                title: Optional[str] = None, right_align: bool = True) -> str:
+    """Render a monospace table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are formatted to a sensible precision.
+        title: optional line printed above the table, prefixed ``# ``.
+        right_align: align numeric columns right (OMB style).
+    """
+    cells: List[List[str]] = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(row):
+            parts.append(c.rjust(widths[i]) if right_align else c.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"# {title}")
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row in cells:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def omb_header(benchmark: str, system: str, backend: str, ranks: int,
+               extra: Optional[str] = None) -> str:
+    """The comment banner OMB prints above each benchmark run."""
+    lines = [
+        f"# OSU-style {benchmark}",
+        f"# System: {system}   Backend: {backend}   Ranks: {ranks}",
+    ]
+    if extra:
+        lines.append(f"# {extra}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""The unified ``xccl*`` API (§3.1).
+
+"At a lower level, xCCL APIs map corresponding NVIDIA, AMD, Habana, or
+Microsoft libraries under the ``xccl`` prefix, offering unified APIs
+for upper layers."  These functions are that prefix: the same call
+works whether the communicator's backend is NCCL, RCCL, HCCL, or MSCCL
+— the vendor differences (``ncclReduce`` vs ``hcclReduce``, stream
+types, datatype enums) are resolved underneath.
+
+Function names intentionally mirror the C API (camelCase) to read like
+Listing 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import CCLInvalidUsage
+from repro.hw.stream import Stream
+from repro.mpi.datatypes import Datatype
+from repro.mpi.ops import Op, SUM
+from repro.sim.engine import RankContext
+from repro.xccl import backend as _backend_mod
+from repro.xccl.backend import CCLBackend
+from repro.xccl.comm import XCCLComm, xccl_get_unique_id
+from repro.xccl.registry import backend_for_vendor, get_backend
+
+
+def xcclGetUniqueId(ctx: RankContext, parties: int, key) -> int:
+    """Agree on a communicator uid (``ncclGetUniqueId`` + bootstrap)."""
+    return xccl_get_unique_id(ctx, parties, key)
+
+
+def xcclCommInitRank(ctx: RankContext, group: Sequence[int], rank: int,
+                     uid: int, backend: Optional[Union[str, CCLBackend]] = None,
+                     stream: Optional[Stream] = None) -> XCCLComm:
+    """Create this rank's communicator handle (``ncclCommInitRank``).
+
+    ``backend`` may be a name, an instance, or None — in which case the
+    local accelerator's vendor picks its native CCL (the portability
+    core of the paper: the same call yields NCCL on ThetaGPU, RCCL on
+    MRI, HCCL on Voyager).
+    """
+    if isinstance(backend, str):
+        be: CCLBackend = get_backend(backend)
+    elif backend is None:
+        be = backend_for_vendor(ctx.device.vendor)
+    else:
+        be = backend
+    if ctx.device.vendor not in be.vendors:
+        raise CCLInvalidUsage(
+            f"backend {be.name} cannot drive {ctx.device.vendor.value} devices")
+    return XCCLComm(ctx, uid, group, rank, stream=stream, backend=be)
+
+
+def xcclCommDestroy(comm: XCCLComm) -> None:
+    """``ncclCommDestroy``."""
+    comm.destroy()
+
+
+def _backend(comm: XCCLComm) -> CCLBackend:
+    if comm.backend is None:
+        raise CCLInvalidUsage("communicator has no backend attached")
+    if comm.aborted:
+        raise CCLInvalidUsage("communicator used after destroy")
+    return comm.backend
+
+
+def xcclAllReduce(sendbuff, recvbuff, count: int, datatype: Datatype,
+                  op: Op, comm: XCCLComm,
+                  stream: Optional[Stream] = None) -> None:
+    """Unified AllReduce (maps to ``ncclAllReduce`` / ``hcclAllReduce``)."""
+    _backend(comm).all_reduce(comm, sendbuff, recvbuff, count, datatype, op)
+
+
+def xcclBroadcast(buff, count: int, datatype: Datatype, root: int,
+                  comm: XCCLComm, stream: Optional[Stream] = None) -> None:
+    """Unified in-place Broadcast."""
+    _backend(comm).broadcast(comm, buff, count, datatype, root)
+
+
+#: NCCL's legacy name for the in-place broadcast.
+xcclBcast = xcclBroadcast
+
+
+def xcclReduce(sendbuff, recvbuff, count: int, datatype: Datatype, op: Op,
+               root: int, comm: XCCLComm,
+               stream: Optional[Stream] = None) -> None:
+    """Unified Reduce-to-root."""
+    _backend(comm).reduce(comm, sendbuff, recvbuff, count, datatype, op, root)
+
+
+def xcclAllGather(sendbuff, recvbuff, count: int, datatype: Datatype,
+                  comm: XCCLComm, stream: Optional[Stream] = None) -> None:
+    """Unified AllGather (``count`` contributed per rank)."""
+    _backend(comm).all_gather(comm, sendbuff, recvbuff, count, datatype)
+
+
+def xcclReduceScatter(sendbuff, recvbuff, count: int, datatype: Datatype,
+                      op: Op, comm: XCCLComm,
+                      stream: Optional[Stream] = None) -> None:
+    """Unified ReduceScatter (``count`` produced per rank)."""
+    _backend(comm).reduce_scatter(comm, sendbuff, recvbuff, count, datatype, op)
+
+
+def xcclSend(sendbuff, count: int, datatype: Datatype, peer: int,
+             comm: XCCLComm, stream: Optional[Stream] = None) -> None:
+    """Unified point-to-point send (group-aware, Listing 1 line 5)."""
+    _backend(comm).send(comm, sendbuff, count, datatype, peer)
+
+
+def xcclRecv(recvbuff, count: int, datatype: Datatype, peer: int,
+             comm: XCCLComm, stream: Optional[Stream] = None) -> None:
+    """Unified point-to-point receive (Listing 1 line 6)."""
+    _backend(comm).recv(comm, recvbuff, count, datatype, peer)
+
+
+def xcclGroupStart() -> None:
+    """``ncclGroupStart``: begin fusing p2p calls."""
+    _backend_mod.group_start()
+
+
+def xcclGroupEnd() -> None:
+    """``ncclGroupEnd``: launch the fused batch."""
+    _backend_mod.group_end()
+
+
+def xcclStreamSynchronize(comm: XCCLComm) -> float:
+    """Synchronize the communicator's stream (Listing 1 line 9);
+    returns the rank's virtual time after the join."""
+    t = comm.stream.synchronize(comm.ctx.now)
+    comm.ctx.clock.merge(t)
+    return t

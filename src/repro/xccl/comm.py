@@ -1,0 +1,106 @@
+"""CCL communicators.
+
+An :class:`XCCLComm` is the simulated ``ncclComm_t``: the rank set, a
+dedicated device stream, sequence counters for collective rendezvous
+keys and point-to-point matching, and the cached topology shape cost
+models need.  The abstraction layer creates one lazily per MPI
+communicator (Listing 1 line 1: "Create XCCL communicator") and caches
+it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import CCLInvalidArgument
+from repro.hw.stream import Stream
+from repro.perfmodel.shape import CommShape, shape_of
+from repro.sim.engine import RankContext
+
+_uid_counter = itertools.count(1)
+
+
+def xccl_get_unique_id(ctx: RankContext, parties: int, key) -> int:
+    """Agree on a communicator uid across ranks (``ncclGetUniqueId`` +
+    bootstrap broadcast, collapsed into one rendezvous)."""
+    slot = ctx.collective_slot(("xccl-uid", key), parties)
+    return slot.exchange(ctx.rank, None, lambda _payloads: next(_uid_counter))
+
+
+class XCCLComm:
+    """One rank's handle on a CCL communicator.
+
+    Args:
+        ctx: the rank's engine context.
+        uid: cluster-wide communicator id (from
+            :func:`xccl_get_unique_id`).
+        group: world ranks, in communicator order.
+        rank: this process's rank within the group.
+        stream: device stream for this communicator's work (created on
+            the local device when not supplied) — the per-architecture
+            stream handling the abstraction layer hides (§1.2).
+        backend: the CCL backend that owns this communicator (set by
+            ``xcclCommInitRank``; the unified API dispatches on it).
+    """
+
+    def __init__(self, ctx: RankContext, uid: int, group: Sequence[int],
+                 rank: int, stream: Optional[Stream] = None,
+                 backend=None) -> None:
+        if not 0 <= rank < len(group):
+            raise CCLInvalidArgument(f"rank {rank} not in group of {len(group)}")
+        if group[rank] != ctx.rank:
+            raise CCLInvalidArgument(
+                f"group[{rank}] = {group[rank]} but context rank is {ctx.rank}")
+        self.ctx = ctx
+        self.uid = uid
+        self.backend = backend
+        self.group: Tuple[int, ...] = tuple(group)
+        self.rank = rank
+        self.stream = stream or ctx.device.create_stream(f"xccl:{uid}")
+        self._coll_seq = itertools.count(1)
+        self._send_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
+        self._recv_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
+        self._shape: Optional[CommShape] = None
+        self.aborted = False
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.group)
+
+    @property
+    def shape(self) -> CommShape:
+        """Topology shape of the communicator (cached)."""
+        if self._shape is None:
+            self._shape = shape_of(self.ctx.cluster, self.group,
+                                   self.ctx.engine.ranks_per_node)
+        return self._shape
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to a world rank."""
+        if not 0 <= comm_rank < len(self.group):
+            raise CCLInvalidArgument(
+                f"peer {comm_rank} out of range for comm of {len(self.group)}")
+        return self.group[comm_rank]
+
+    def next_coll_key(self, kind: str) -> Tuple:
+        """Rendezvous key for the next fused collective (identical
+        call order across ranks keeps these aligned)."""
+        return ("xccl", self.uid, kind, next(self._coll_seq))
+
+    def next_send_seq(self, dst_rank: int) -> int:
+        """Program-order sequence number for a send to ``dst_rank``."""
+        return next(self._send_seq[dst_rank])
+
+    def next_recv_seq(self, src_rank: int) -> int:
+        """Program-order sequence number for a recv from ``src_rank``."""
+        return next(self._recv_seq[src_rank])
+
+    def destroy(self) -> None:
+        """``ncclCommDestroy``: mark the communicator unusable."""
+        self.aborted = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<XCCLComm uid={self.uid} rank {self.rank}/{self.size}>"

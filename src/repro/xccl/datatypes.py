@@ -1,0 +1,83 @@
+"""CCL datatype tables.
+
+The capability gap between MPI's datatype zoo and the CCLs' short lists
+drives the paper's fallback design (§3.2): NCCL-family libraries cover
+the common integer/float types but have no complex support
+(``MPI_DOUBLE_COMPLEX`` breaks FFT apps like heFFTe), and HCCL
+supports only ``float``.  :func:`backend_supports` is the check the
+abstraction layer runs before routing an MPI call to a CCL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import CCLUnsupportedDatatype
+from repro.mpi import datatypes as mdt
+from repro.mpi.datatypes import Datatype
+
+#: MPI datatype -> ncclDataType_t-style name (None = no CCL equivalent)
+_CCL_NAMES: Dict[str, Optional[str]] = {
+    mdt.BYTE.name: "xcclUint8",
+    mdt.CHAR.name: "xcclInt8",
+    mdt.INT8.name: "xcclInt8",
+    mdt.UINT8.name: "xcclUint8",
+    mdt.INT16.name: None,           # no 16-bit ints in NCCL
+    mdt.UINT16.name: None,
+    mdt.INT32.name: "xcclInt32",
+    mdt.UINT32.name: "xcclUint32",
+    mdt.INT.name: "xcclInt32",
+    mdt.INT64.name: "xcclInt64",
+    mdt.UINT64.name: "xcclUint64",
+    mdt.LONG.name: "xcclInt64",
+    mdt.FLOAT16.name: "xcclFloat16",
+    mdt.BFLOAT16.name: "xcclBfloat16",
+    mdt.FLOAT.name: "xcclFloat32",
+    mdt.DOUBLE.name: "xcclFloat64",
+    mdt.COMPLEX.name: None,          # no complex anywhere in the xCCLs
+    mdt.DOUBLE_COMPLEX.name: None,
+    mdt.BOOL.name: None,
+}
+
+#: ncclDataType names the NCCL lineage (NCCL, RCCL, MSCCL) implements.
+NCCL_FAMILY_TYPES: FrozenSet[str] = frozenset({
+    "xcclInt8", "xcclUint8", "xcclInt32", "xcclUint32",
+    "xcclInt64", "xcclUint64", "xcclFloat16", "xcclBfloat16",
+    "xcclFloat32", "xcclFloat64",
+})
+
+#: HCCL "only supports float currently" (paper §3.2).
+HCCL_TYPES: FrozenSet[str] = frozenset({"xcclFloat32"})
+
+SUPPORT_TABLES: Dict[str, FrozenSet[str]] = {
+    "nccl": NCCL_FAMILY_TYPES,
+    "rccl": NCCL_FAMILY_TYPES,
+    "msccl": NCCL_FAMILY_TYPES,
+    "hccl": HCCL_TYPES,
+}
+
+
+def ccl_dtype_name(dt: Datatype) -> Optional[str]:
+    """The xccl datatype name for an MPI datatype, or None when no CCL
+    can represent it (complex, bool, 16-bit ints)."""
+    return _CCL_NAMES.get(dt.name)
+
+
+def backend_supports(backend_name: str, dt: Datatype) -> bool:
+    """Whether ``backend_name`` implements MPI datatype ``dt``."""
+    ccl_name = ccl_dtype_name(dt)
+    if ccl_name is None:
+        return False
+    table = SUPPORT_TABLES.get(backend_name.lower())
+    return table is not None and ccl_name in table
+
+
+def require_support(backend_name: str, dt: Datatype) -> str:
+    """The xccl datatype name, or raise :class:`CCLUnsupportedDatatype`
+    — the conversion step of Listing 1 line 2."""
+    if not backend_supports(backend_name, dt):
+        raise CCLUnsupportedDatatype(
+            f"{backend_name} has no datatype for {dt.name}")
+    name = ccl_dtype_name(dt)
+    assert name is not None
+    return name

@@ -1,0 +1,62 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.util.asciiplot import ascii_plot, plot_result_set
+from repro.util.records import ResultRecord, ResultSet
+
+
+def _series():
+    return {
+        "MPI": [(4, 10.0), (1024, 12.0), (1 << 20, 400.0)],
+        "NCCL": [(4, 30.0), (1024, 31.0), (1 << 20, 60.0)],
+    }
+
+
+class TestAsciiPlot:
+    def test_renders_with_glyphs(self):
+        text = ascii_plot(_series())
+        assert "o" in text and "x" in text
+        assert "o MPI" in text and "x NCCL" in text
+
+    def test_title_and_ylabel(self):
+        text = ascii_plot(_series(), title="crossover", ylabel="us")
+        assert text.splitlines()[0] == "crossover"
+        assert "[us]" in text
+
+    def test_dimensions(self):
+        text = ascii_plot(_series(), width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "│" in l or "┤" in l]
+        assert len(plot_rows) == 10
+
+    def test_x_axis_labels_sizes(self):
+        text = ascii_plot(_series())
+        assert "4" in text and "1M" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_linear_axes(self):
+        text = ascii_plot({"a": [(0.0, 1.0), (10.0, 5.0)]},
+                          logx=False, logy=False)
+        assert "│" in text
+
+    def test_single_point_no_crash(self):
+        assert "o" in ascii_plot({"a": [(10, 10)]})
+
+    def test_overlap_marker(self):
+        text = ascii_plot({"a": [(10, 10)], "b": [(10, 10)]})
+        assert "?" in text
+
+
+class TestPlotResultSet:
+    def test_from_records(self):
+        rs = ResultSet([
+            ResultRecord("e", "MPI", 4.0, 10.0, "us"),
+            ResultRecord("e", "MPI", 4096.0, 50.0, "us"),
+            ResultRecord("e", "NCCL", 4.0, 30.0, "us"),
+            ResultRecord("e", "NCCL", 4096.0, 35.0, "us"),
+        ])
+        text = plot_result_set(rs, title="t")
+        assert "MPI" in text and "NCCL" in text and "[us]" in text

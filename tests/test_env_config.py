@@ -1,0 +1,107 @@
+"""MPIX_* environment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.config import EnvDefaults, apply_env, from_env
+from repro.core import DispatchMode, run
+from repro.errors import ConfigError
+from repro.mpi import SUM
+from repro.mpi.config import mvapich_gpu
+
+
+class TestFromEnv:
+    def test_empty(self):
+        assert from_env({}) == EnvDefaults()
+
+    def test_backend_and_mode(self):
+        d = from_env({"MPIX_BACKEND": "msccl", "MPIX_MODE": "pure_xccl"})
+        assert d.backend == "msccl"
+        assert d.mode == "pure_xccl"
+
+    def test_mode_case_insensitive(self):
+        assert from_env({"MPIX_MODE": "Pure_MPI"}).mode == "pure_mpi"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            from_env({"MPIX_MODE": "turbo"})
+
+    def test_eager_sizes_parsed(self):
+        d = from_env({"MPIX_EAGER_INTRA": "16K", "MPIX_EAGER_INTER": "32K"})
+        assert d.eager_intra == 16384
+        assert d.eager_inter == 32768
+
+    def test_missing_tuning_file(self):
+        with pytest.raises(ConfigError):
+            from_env({"MPIX_TUNING_FILE": "/nonexistent/table.json"})
+
+    def test_empty_values_ignored(self):
+        assert from_env({"MPIX_BACKEND": "", "MPIX_MODE": ""}) == EnvDefaults()
+
+
+class TestApplyEnv:
+    def test_explicit_args_win(self):
+        backend, mode, table, cfg = apply_env(
+            "nccl", "pure_mpi", None, mvapich_gpu(),
+            environ={"MPIX_BACKEND": "msccl", "MPIX_MODE": "hybrid"})
+        assert backend == "nccl"
+        assert mode == "pure_mpi"
+
+    def test_env_fills_gaps(self):
+        backend, mode, _t, _c = apply_env(
+            None, None, None, mvapich_gpu(),
+            environ={"MPIX_BACKEND": "msccl", "MPIX_MODE": "pure_xccl"})
+        assert backend == "msccl"
+        assert mode == "pure_xccl"
+
+    def test_default_mode_hybrid(self):
+        _b, mode, _t, _c = apply_env(None, None, None, mvapich_gpu(),
+                                     environ={})
+        assert mode == "hybrid"
+
+    def test_eager_overrides_config(self):
+        _b, _m, _t, cfg = apply_env(None, None, None, mvapich_gpu(),
+                                    environ={"MPIX_EAGER_INTRA": "64K"})
+        assert cfg.eager_threshold_intra == 65536
+
+    def test_tuning_file_loaded(self, tmp_path):
+        from repro.core.tune_cli import main
+        path = tmp_path / "table.json"
+        main(["--system", "thetagpu", "-o", str(path)])
+        _b, _m, table, _c = apply_env(None, None, None, mvapich_gpu(),
+                                      environ={"MPIX_TUNING_FILE": str(path)})
+        assert table is not None
+        assert table.backend == "nccl"
+
+
+class TestRunHonorsEnv:
+    def test_backend_from_env(self, monkeypatch):
+        monkeypatch.setenv("MPIX_BACKEND", "msccl")
+        out = run(lambda mpx: mpx.layer.backend_name,
+                  system="thetagpu", nranks=2)
+        assert out == ["msccl", "msccl"]
+
+    def test_mode_from_env(self, monkeypatch):
+        monkeypatch.setenv("MPIX_MODE", "pure_mpi")
+        out = run(lambda mpx: mpx.COMM_WORLD.coll.mode,
+                  system="thetagpu", nranks=2)
+        assert out == [DispatchMode.PURE_MPI] * 2
+
+    def test_env_swap_changes_routing(self, monkeypatch):
+        """The paper's 'adjust the backend through the library path
+        setting' story: same program, different env, different CCL."""
+
+        def body(mpx):
+            big = mpx.device_array(1 << 20, fill=1.0)
+            out = mpx.device_array(1 << 20)
+            mpx.COMM_WORLD.Allreduce(big, out, SUM)
+            # version distinguishes the pinned build (the name stays
+            # "nccl" — version-pinned backends reuse the same symbols)
+            return (mpx.layer.backend.version, float(out.array[0]))
+
+        monkeypatch.setenv("MPIX_BACKEND", "nccl-2.11")
+        a = run(body, system="thetagpu", nranks=4)[0]
+        monkeypatch.setenv("MPIX_BACKEND", "nccl")
+        b = run(body, system="thetagpu", nranks=4)[0]
+        assert a == ("2.11.4", 4.0)
+        assert b == ("2.18.3", 4.0)

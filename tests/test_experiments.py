@@ -1,0 +1,93 @@
+"""Experiment registry, quick-scale runs, anchor machinery, report."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments.registry import AnchorCheck, Experiment
+from repro.experiments.report import experiment_report
+from repro.util.records import ResultSet
+
+ALL_IDS = ("table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7",
+           "fig8", "fig9", "fig10")
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        ids = {e.id for e in all_experiments()}
+        assert ids == set(ALL_IDS)
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+    def test_every_experiment_has_checks(self):
+        for exp in all_experiments():
+            assert len(exp.checks) >= 2, exp.id
+
+    def test_anchor_evaluation(self):
+        check = AnchorCheck("x", 100.0, lambda rs: 110.0, rel_tol=0.2)
+        measured, passed, dev = check.evaluate(ResultSet())
+        assert measured == 110.0
+        assert passed
+        assert dev == pytest.approx(0.1)
+
+    def test_anchor_fails_outside_tol(self):
+        check = AnchorCheck("x", 100.0, lambda rs: 300.0, rel_tol=0.2)
+        assert not check.evaluate(ResultSet())[1]
+
+
+class TestQuickRuns:
+    """Each experiment runs end to end at quick scale and produces a
+    sane, plottable result set."""
+
+    @pytest.mark.parametrize("exp_id", ["table1", "fig1"])
+    def test_model_experiments(self, exp_id):
+        results = run_experiment(exp_id, scale="quick")
+        assert len(results) > 0
+        assert all(r.value >= 0 for r in results)
+
+    def test_fig3_quick(self):
+        results = run_experiment("fig3", scale="quick")
+        # 4 backends x 3 metrics
+        assert len(results.series_names()) == 12
+
+    def test_fig6_quick(self):
+        results = run_experiment("fig6", scale="quick")
+        colls = {r.meta["collective"] for r in results}
+        assert colls == {"allreduce", "reduce", "bcast", "alltoall"}
+
+    def test_fig5_quick_panel_structure(self):
+        results = run_experiment("fig5", scale="quick")
+        nccl_panel = results.filter(
+            lambda r: r.experiment == "fig5:allreduce:nccl")
+        names = set(nccl_panel.series_names())
+        assert "Proposed Hybrid xCCL" in names
+        assert "Pure NCCL" in names
+        assert "Open MPI + UCX + UCC" in names
+
+    def test_fig10_quick(self):
+        results = run_experiment("fig10", scale="quick")
+        assert "Pure MSCCL" in results.series_names()
+
+    def test_fig9_quick_overhead_small(self):
+        results = run_experiment("fig9", scale="quick")
+        x = results.filter(lambda r: r.series == "Proposed Hybrid xCCL"
+                           and r.x == 128.0)[0].value
+        h = results.filter(lambda r: r.series == "Pure HCCL"
+                           and r.x == 128.0)[0].value
+        assert abs(x - h) / h < 0.15
+
+
+class TestReport:
+    def test_section_renders(self):
+        exp = get_experiment("table1")
+        text = experiment_report(exp, exp.run("quick"))
+        assert "table1" in text
+        assert "| anchor |" in text
+        assert "yes" in text
+
+    def test_render_table1(self):
+        from repro.experiments.table1_systems import render, run
+        text = render(run())
+        assert "thetagpu" in text and "voyager" in text

@@ -1,0 +1,195 @@
+"""Failure injection: dropped/delayed messages, dying ranks, CCL errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.abstraction import XCCLAbstractionLayer
+from repro.core.fallback import FallbackReason
+from repro.core.hybrid import DispatchMode, HybridDispatcher
+from repro.errors import CCLError, DeadlockError, RankFailedError, SimulationError
+from repro.mpi import SUM, Communicator
+from repro.sim.engine import Engine
+from repro.sim.faults import DelayRule, DropRule, FaultPlan, with_faults
+from repro.xccl.nccl import NCCLBackend
+
+
+class TestFaultPlan:
+    def test_chaining(self):
+        plan = FaultPlan().drop(0, 1).delay(1, 0, 50.0, nth=2)
+        assert plan.drops == [DropRule(0, 1, 0)]
+        assert plan.delays == [DelayRule(1, 0, 2, 50.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().delay(0, 1, -1.0)
+
+
+class TestDrops:
+    def test_dropped_message_deadlocks_receiver(self, thetagpu1):
+        engine = Engine(thetagpu1, nranks=2, progress_timeout_s=1.5)
+        injector = with_faults(engine, FaultPlan().drop(0, 1, nth=0))
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.Send(ctx.device.zeros(16), 1)
+            else:
+                comm.Recv(ctx.device.zeros(16), source=0)
+
+        with pytest.raises(RankFailedError) as exc_info:
+            engine.run(body)
+        assert any(isinstance(e, DeadlockError)
+                   for e in exc_info.value.failures.values())
+        assert len(injector.dropped) == 1
+
+    def test_unrelated_traffic_survives_a_drop(self, thetagpu1):
+        # drop a message between 2 and 3; ranks 0/1 must still finish —
+        # we only assert on the survivors' results
+        engine = Engine(thetagpu1, nranks=4, progress_timeout_s=1.5)
+        with_faults(engine, FaultPlan().drop(2, 3, nth=0))
+        results = {}
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank in (0, 1):
+                peer = 1 - ctx.rank
+                buf = ctx.device.zeros(8)
+                buf.fill(float(ctx.rank))
+                out = ctx.device.zeros(8)
+                comm.Sendrecv(buf, peer, out, peer)
+                results[ctx.rank] = out.array[0]
+            elif ctx.rank == 2:
+                comm.Send(ctx.device.zeros(8), 3)
+            else:
+                comm.Recv(ctx.device.zeros(8), source=2)
+
+        with pytest.raises(RankFailedError):
+            engine.run(body)
+        assert results == {0: 1.0, 1: 0.0}
+
+    def test_drop_nth_counts_per_pair(self, thetagpu1):
+        engine = Engine(thetagpu1, nranks=2, progress_timeout_s=1.5)
+        injector = with_faults(engine, FaultPlan().drop(0, 1, nth=1))
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.Send(ctx.device.zeros(4), 1, tag=0)  # survives
+                comm.Send(ctx.device.zeros(4), 1, tag=1)  # dropped
+            else:
+                comm.Recv(ctx.device.zeros(4), source=0, tag=0)
+                comm.Recv(ctx.device.zeros(4), source=0, tag=1)
+
+        with pytest.raises(RankFailedError):
+            engine.run(body)
+        assert [m.tag for m in injector.dropped] == [1]
+
+
+class TestDelays:
+    def test_delay_extends_virtual_latency(self, thetagpu1):
+        def run_with(plan):
+            engine = Engine(thetagpu1, nranks=2, progress_timeout_s=5.0)
+            if plan:
+                with_faults(engine, plan)
+
+            def body(ctx):
+                comm = Communicator.world(ctx)
+                if ctx.rank == 0:
+                    comm.Send(ctx.device.zeros(16), 1)
+                    return None
+                comm.Recv(ctx.device.zeros(16), source=0)
+                return ctx.now
+
+            return engine.run(body)[1]
+
+        base = run_with(None)
+        delayed = run_with(FaultPlan().delay(0, 1, 500.0))
+        assert delayed == pytest.approx(base + 500.0)
+
+    def test_delayed_collective_still_correct(self, thetagpu1):
+        engine = Engine(thetagpu1, nranks=4, progress_timeout_s=5.0)
+        with_faults(engine, FaultPlan().delay(0, 1, 200.0).delay(2, 3, 99.0))
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            s = ctx.device.zeros(64)
+            s.fill(1.0)
+            r = ctx.device.zeros(64)
+            comm.Allreduce(s, r, SUM)
+            return r.array[0]
+
+        assert engine.run(body) == [4.0] * 4
+
+    def test_delay_slows_exactly_one_message(self, thetagpu1):
+        engine = Engine(thetagpu1, nranks=2, progress_timeout_s=5.0)
+        injector = with_faults(engine, FaultPlan().delay(0, 1, 100.0, nth=0))
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                for tag in range(3):
+                    comm.Send(ctx.device.zeros(4), 1, tag=tag)
+            else:
+                for tag in range(3):
+                    comm.Recv(ctx.device.zeros(4), source=0, tag=tag)
+
+        engine.run(body)
+        assert len(injector.delayed) == 1
+
+
+class TestDyingRanks:
+    def test_rank_death_reported_not_hung(self, thetagpu1):
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 2:
+                raise RuntimeError("device fell off the bus")
+            s = ctx.device.zeros(16)
+            r = ctx.device.zeros(16)
+            comm.Allreduce(s, r, SUM)
+
+        engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+        with pytest.raises(RankFailedError) as exc_info:
+            engine.run(body)
+        assert isinstance(exc_info.value.failures[2], RuntimeError)
+
+
+class _FlakyNCCL(NCCLBackend):
+    """A backend whose first collective call dies (the paper's
+    NCCL-2.18.3-on-ThetaGPU incident, §4.4)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def all_reduce(self, comm, sendbuf, recvbuf, count, dt, op):
+        self.calls += 1
+        if self.calls == 1:
+            raise CCLError("internal error - please report this issue")
+        super().all_reduce(comm, sendbuf, recvbuf, count, dt, op)
+
+
+class TestCCLErrorFallback:
+    def test_runtime_error_falls_back_to_mpi(self, thetagpu1):
+        """A CCL runtime failure mid-call reroutes to MPI transparently
+        — advantage 3 of §1.2, and the §4.4 war story."""
+        engine = Engine(thetagpu1, nranks=4, progress_timeout_s=10.0)
+        flaky_calls = {}
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            layer = XCCLAbstractionLayer(ctx, _FlakyNCCL())
+            comm.coll = HybridDispatcher(layer, DispatchMode.PURE_XCCL)
+            s = ctx.device.zeros(1 << 18)
+            s.fill(1.0)
+            r = ctx.device.zeros(1 << 18)
+            comm.Allreduce(s, r, SUM)   # CCL raises -> MPI completes it
+            flaky_calls[ctx.rank] = layer.backend.calls
+            stats = comm.coll.stats
+            return (float(r.array[0]), stats.mpi_calls,
+                    dict(stats.fallbacks))
+
+        out = engine.run(body)
+        for value, mpi_calls, fallbacks in out:
+            assert value == 4.0          # result correct despite the error
+            assert mpi_calls == 1
+            assert any(reason == FallbackReason.CCL_ERROR
+                       for (_c, reason) in fallbacks)

@@ -1,0 +1,127 @@
+"""Topology-aware (hierarchical) collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, SUM, Communicator
+from repro.mpi.coll import MPICollDispatcher
+from repro.mpi.coll.hierarchical import node_comms
+
+
+def comm_with(ctx, force=None):
+    comm = Communicator.world(ctx)
+    comm.coll = MPICollDispatcher(force=force)
+    return comm
+
+
+class TestNodeComms:
+    def test_partitioning(self, thetagpu2, spmd):
+        def body(ctx):
+            comm = comm_with(ctx)
+            local, leaders = node_comms(comm)
+            return (local.size, leaders is not None and leaders.size or 0)
+
+        out = spmd(thetagpu2, body, nranks=16)
+        assert out[0] == (8, 2)       # leader on node 0
+        assert out[1] == (8, 0)       # non-leader
+        assert out[8] == (8, 2)       # leader on node 1
+
+    def test_cached(self, thetagpu2, spmd):
+        def body(ctx):
+            comm = comm_with(ctx)
+            a = node_comms(comm)
+            b = node_comms(comm)
+            return a is b
+
+        assert all(spmd(thetagpu2, body, nranks=4))
+
+    def test_uneven_nodes(self, thetagpu2, spmd):
+        def body(ctx):
+            comm = comm_with(ctx)
+            local, leaders = node_comms(comm)
+            return local.size
+
+        out = spmd(thetagpu2, body, nranks=10)  # 8 + 2
+        assert out[0] == 8 and out[9] == 2
+
+
+class TestHierarchicalCorrectness:
+    @pytest.mark.parametrize("nranks", [16, 12, 9])
+    def test_allreduce(self, thetagpu2, spmd, nranks):
+        def body(ctx):
+            comm = comm_with(ctx, "hierarchical")
+            n = 512
+            s = ctx.device.zeros(n, dtype=np.float64)
+            s.array[:] = np.arange(n) + ctx.rank
+            r = ctx.device.zeros(n, dtype=np.float64)
+            comm.Allreduce(s, r, SUM)
+            expect = sum(np.arange(n) + k for k in range(comm.size))
+            return np.allclose(r.array, expect)
+
+        assert all(spmd(thetagpu2, body, nranks=nranks))
+
+    @pytest.mark.parametrize("root", [0, 3, 9])
+    def test_bcast_any_root(self, thetagpu2, spmd, root):
+        def body(ctx):
+            comm = comm_with(ctx, "hierarchical")
+            buf = ctx.device.zeros(256)
+            if ctx.rank == root:
+                buf.array[:] = 42.0
+            comm.Bcast(buf, root=root)
+            return bool(np.all(buf.array == 42.0))
+
+        assert all(spmd(thetagpu2, body, nranks=12))
+
+    @pytest.mark.parametrize("root", [0, 5, 11])
+    def test_reduce_any_root(self, thetagpu2, spmd, root):
+        def body(ctx):
+            comm = comm_with(ctx, "hierarchical")
+            s = ctx.device.zeros(128)
+            s.fill(float(ctx.rank))
+            r = ctx.device.zeros(128)
+            comm.Reduce(s, r, MAX, root=root)
+            if ctx.rank != root:
+                return True
+            return bool(np.all(r.array == comm.size - 1))
+
+        assert all(spmd(thetagpu2, body, nranks=12))
+
+    def test_single_node_degenerates(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = comm_with(ctx, "hierarchical")
+            s = ctx.device.zeros(64)
+            s.fill(1.0)
+            r = ctx.device.zeros(64)
+            comm.Allreduce(s, r, SUM)
+            return r.array[0]
+
+        assert spmd(thetagpu1, body, nranks=4) == [4.0] * 4
+
+
+class TestHierarchicalPerformance:
+    def test_beats_flat_ring_for_medium_multi_node(self, thetagpu2, spmd):
+        """8 ranks/node over 2 nodes at 64 KB: the leader design pays
+        one fabric exchange instead of a 30-step cross-node ring.
+        (Flat recursive doubling with block placement is already
+        near-optimal in fabric rounds, so the honest comparison for
+        the leader design is the bandwidth algorithms.)"""
+        n = 16384  # 64 KB of floats
+
+        def body(ctx):
+            comm_ring = comm_with(ctx, "ring")
+            comm_hier = comm_with(ctx, "hierarchical")
+            s = ctx.device.zeros(n)
+            r = ctx.device.zeros(n)
+            comm_ring.Barrier()
+            t0 = ctx.now
+            comm_ring.Allreduce(s, r, SUM)
+            t_ring = ctx.now - t0
+            # warm the cached sub-communicators outside the timing
+            node_comms(comm_hier)
+            comm_hier.Barrier()
+            t1 = ctx.now
+            comm_hier.Allreduce(s, r, SUM)
+            return t_ring, ctx.now - t1
+
+        t_ring, t_hier = spmd(thetagpu2, body, nranks=16)[0]
+        assert t_hier < t_ring

@@ -1,0 +1,167 @@
+"""Links, nodes, clusters, paths, and system presets."""
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.hw.cluster import PathScope
+from repro.hw.links import (
+    ETH_400G,
+    GAUDI_ROCE,
+    IB_HDR,
+    NVSWITCH,
+    PCIE_MRI,
+    LinkModel,
+    LinkKind,
+)
+from repro.hw.systems import TABLE1, make_system, mri, system_names, thetagpu, voyager
+
+
+class TestLinkModel:
+    def test_time_is_alpha_plus_wire(self):
+        l = LinkModel(LinkKind.NVSWITCH, alpha_us=2.0, beta_bpus=1000.0)
+        assert l.time_us(0) == 2.0
+        assert l.time_us(1000) == 3.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NVSWITCH.time_us(-1)
+
+    def test_bandwidth_approaches_beta(self):
+        bw = NVSWITCH.bandwidth_MBps(1 << 30)
+        assert bw == pytest.approx(NVSWITCH.beta_bpus, rel=0.01)
+
+    def test_bidir_full_duplex_unchanged(self):
+        assert IB_HDR.bidir_time_us(1 << 20) == IB_HDR.time_us(1 << 20)
+
+    def test_bidir_half_duplex_slower(self):
+        assert NVSWITCH.bidir_time_us(1 << 20) > NVSWITCH.time_us(1 << 20)
+
+    def test_shared_divides_beta(self):
+        shared = IB_HDR.shared(4)
+        assert shared.beta_bpus == pytest.approx(IB_HDR.beta_bpus / 4)
+
+    def test_shared_within_ports_free(self):
+        assert NVSWITCH.shared(1).beta_bpus == NVSWITCH.beta_bpus
+
+    def test_shared_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IB_HDR.shared(0)
+
+    def test_effective_beta_with_store_forward(self):
+        # PCIe has a host bounce: harmonic composition
+        eff = PCIE_MRI.effective_beta(6000.0)
+        assert eff < 6000.0
+        assert eff == pytest.approx(1 / (1 / 6000 + 1 / 24000))
+
+    def test_effective_beta_without_store_forward(self):
+        assert NVSWITCH.effective_beta(1234.0) == 1234.0
+
+
+class TestNode:
+    def test_intra_path_switched(self):
+        node = thetagpu(1).nodes[0]
+        links = node.intra_path_links(0, 5)
+        assert len(links) == 2  # dev -> switch -> dev
+        assert all(l.kind == LinkKind.NVSWITCH for l in links)
+
+    def test_intra_path_bus(self):
+        node = mri(1).nodes[0]
+        links = node.intra_path_links(0, 1)
+        assert all(l.kind == LinkKind.PCIE for l in links)
+
+    def test_same_device_empty_path(self):
+        assert thetagpu(1).nodes[0].intra_path_links(3, 3) == []
+
+    def test_device_to_nic(self):
+        node = voyager(1).nodes[0]
+        links = node.device_to_nic_links(2)
+        assert len(links) >= 1
+
+    def test_bad_device_index(self):
+        with pytest.raises(TopologyError):
+            thetagpu(1).nodes[0].device(8)
+
+
+class TestCluster:
+    def test_path_scopes(self, thetagpu2):
+        c = thetagpu2
+        assert c.path(c.devices[0], c.devices[0]).scope == PathScope.LOCAL
+        assert c.path(c.devices[0], c.devices[3]).scope == PathScope.INTRA
+        assert c.path(c.devices[0], c.devices[9]).scope == PathScope.INTER
+
+    def test_inter_path_carries_fabric(self, thetagpu2):
+        c = thetagpu2
+        p = c.path(c.devices[0], c.devices[8])
+        assert p.fabric is not None
+        assert p.fabric.kind == LinkKind.IB_HDR
+
+    def test_intra_path_no_fabric(self, thetagpu2):
+        c = thetagpu2
+        assert c.path(c.devices[0], c.devices[1]).fabric is None
+
+    def test_device_for_rank_block_placement(self, thetagpu2):
+        c = thetagpu2
+        assert c.device_for_rank(0) is c.nodes[0].devices[0]
+        assert c.device_for_rank(8) is c.nodes[1].devices[0]
+
+    def test_device_for_rank_custom_ppn(self, thetagpu2):
+        c = thetagpu2
+        assert c.device_for_rank(1, ranks_per_node=1) is c.nodes[1].devices[0]
+
+    def test_rank_out_of_range(self, thetagpu2):
+        with pytest.raises(TopologyError):
+            thetagpu2.device_for_rank(16)
+
+    def test_transfer_resources_switched_pair(self, thetagpu2):
+        c = thetagpu2
+        res = c.transfer_resources(c.devices[0], c.devices[1])
+        assert res == [("intra", 0, 0, 1, "fwd")]
+        rev = c.transfer_resources(c.devices[1], c.devices[0])
+        assert rev == [("intra", 0, 0, 1, "rev")]
+
+    def test_transfer_resources_bus(self, mri2):
+        c = mri2
+        res = c.transfer_resources(c.devices[0], c.devices[1])
+        assert ("bus", 0, 0, "out") in res
+
+    def test_transfer_resources_inter(self, thetagpu2):
+        c = thetagpu2
+        res = c.transfer_resources(c.devices[0], c.devices[8])
+        assert ("nic", 0, "out") in res
+        assert ("nic", 1, "in") in res
+
+    def test_transfer_resources_local_empty(self, thetagpu2):
+        c = thetagpu2
+        assert c.transfer_resources(c.devices[0], c.devices[0]) == []
+
+    def test_contended_path(self, thetagpu2):
+        c = thetagpu2
+        p = c.path(c.devices[0], c.devices[1])
+        assert p.contended(4).beta_bpus < p.beta_bpus
+
+
+class TestSystems:
+    def test_names(self):
+        assert system_names() == ["aurora", "mri", "thetagpu", "voyager"]
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigError):
+            make_system("frontier")
+
+    @pytest.mark.parametrize("name,devs", [("thetagpu", 8), ("mri", 2),
+                                           ("voyager", 8)])
+    def test_devices_per_node(self, name, devs):
+        assert make_system(name, 1).device_count == devs
+
+    def test_node_limits(self):
+        with pytest.raises(ConfigError):
+            thetagpu(25)
+        with pytest.raises(ConfigError):
+            voyager(0)
+
+    def test_table1_covers_all_systems(self):
+        assert set(TABLE1) == {"thetagpu", "mri", "voyager"}
+
+    def test_multi_node_naming(self):
+        c = make_system("mri", 3)
+        assert [n.name for n in c.nodes] == ["mri00", "mri01", "mri02"]

@@ -1,0 +1,151 @@
+"""Cartesian topologies: dims_create, coordinates, shifts, sub-grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MPICommError, MPIRankError
+from repro.mpi import SUM, Communicator
+from repro.mpi.cart import CartComm, dims_create
+
+
+class TestDimsCreate:
+    def test_balanced_2d(self):
+        assert sorted(dims_create(16, 2)) == [4, 4]
+        assert sorted(dims_create(12, 2)) == [3, 4]
+
+    def test_3d(self):
+        dims = dims_create(8, 3)
+        assert sorted(dims) == [2, 2, 2]
+
+    def test_constraint_respected(self):
+        dims = dims_create(16, 2, [8, 0])
+        assert dims == [8, 2]
+
+    def test_impossible_constraint(self):
+        with pytest.raises(MPICommError):
+            dims_create(16, 2, [5, 0])
+
+    def test_prime(self):
+        assert sorted(dims_create(7, 2)) == [1, 7]
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 256), nd=st.integers(1, 4))
+    def test_product_property(self, n, nd):
+        dims = dims_create(n, nd)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+        assert all(d >= 1 for d in dims)
+
+
+class TestCoordinates:
+    def _grid(self, ctx, dims, periods=None):
+        return CartComm(Communicator.world(ctx), dims, periods)
+
+    def test_row_major_layout(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = self._grid(ctx, (2, 4))
+            return grid.coords
+
+        out = spmd(thetagpu1, body, nranks=8)
+        assert out[0] == (0, 0)
+        assert out[3] == (0, 3)
+        assert out[4] == (1, 0)
+        assert out[7] == (1, 3)
+
+    def test_roundtrip(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = self._grid(ctx, (2, 2, 2))
+            return all(grid.coords_to_rank(grid.rank_to_coords(r)) == r
+                       for r in range(8))
+
+        assert all(spmd(thetagpu1, body, nranks=8))
+
+    def test_size_mismatch(self, thetagpu1, spmd):
+        def body(ctx):
+            try:
+                self._grid(ctx, (3, 3))
+            except MPICommError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=8) == ["rejected"] * 8
+
+    def test_periodic_wrap(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = self._grid(ctx, (4,), periods=[True])
+            return grid.coords_to_rank([-1])
+
+        assert spmd(thetagpu1, body, nranks=4)[0] == 3
+
+    def test_nonperiodic_out_of_range(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = self._grid(ctx, (4,))
+            try:
+                grid.coords_to_rank([4])
+            except MPIRankError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=4)[0] == "rejected"
+
+
+class TestShift:
+    def test_interior_and_edges(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = CartComm(Communicator.world(ctx), (4,))
+            return grid.shift(0, 1)
+
+        out = spmd(thetagpu1, body, nranks=4)
+        assert out[0] == (None, 1)
+        assert out[1] == (0, 2)
+        assert out[3] == (2, None)
+
+    def test_periodic_shift(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = CartComm(Communicator.world(ctx), (4,), periods=[True])
+            return grid.shift(0, 1)
+
+        out = spmd(thetagpu1, body, nranks=4)
+        assert out[0] == (3, 1)
+        assert out[3] == (2, 0)
+
+    def test_halo_exchange_on_grid(self, thetagpu1, spmd):
+        """A ring halo exchange addressed by shift partners."""
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            grid = CartComm(comm, (comm.size,), periods=[True])
+            left, right = grid.shift(0, 1)
+            send = ctx.device.zeros(4)
+            send.fill(float(ctx.rank))
+            recv = ctx.device.zeros(4)
+            comm.Sendrecv(send, right, recv, left)
+            return recv.array[0]
+
+        out = spmd(thetagpu1, body, nranks=4)
+        assert out == [3.0, 0.0, 1.0, 2.0]
+
+
+class TestSub:
+    def test_row_communicators(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            grid = CartComm(comm, (2, 4))
+            rows = grid.sub([False, True])  # keep columns: one comm per row
+            s = ctx.device.zeros(4)
+            s.fill(1.0)
+            r = ctx.device.zeros(4)
+            rows.comm.Allreduce(s, r, SUM)
+            return (rows.comm.size, r.array[0])
+
+        out = spmd(thetagpu1, body, nranks=8)
+        assert all(o == (4, 4.0) for o in out)
+
+    def test_sub_dims(self, thetagpu1, spmd):
+        def body(ctx):
+            grid = CartComm(Communicator.world(ctx), (2, 2, 2))
+            sub = grid.sub([True, False, True])
+            return sub.dims
+
+        assert spmd(thetagpu1, body, nranks=8)[0] == (2, 2)

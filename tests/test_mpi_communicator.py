@@ -1,0 +1,143 @@
+"""Communicator identity, Dup/Split, context isolation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPICommError, MPIRankError, RankFailedError
+from repro.mpi import SUM, Communicator
+
+
+def world(ctx):
+    return Communicator.world(ctx)
+
+
+class TestIdentity:
+    def test_rank_size(self, thetagpu1, spmd):
+        out = spmd(thetagpu1, lambda ctx: (world(ctx).rank, world(ctx).size),
+                   nranks=4)
+        assert out == [(r, 4) for r in range(4)]
+
+    def test_get_rank_get_size(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            return comm.Get_rank(), comm.Get_size()
+
+        assert spmd(thetagpu1, body, nranks=2) == [(0, 2), (1, 2)]
+
+    def test_world_rank_translation(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            with pytest.raises(MPIRankError):
+                comm.world_rank(10)
+            return comm.world_rank(1)
+
+        assert spmd(thetagpu1, body, nranks=3)[0] == 1
+
+
+class TestDup:
+    def test_dup_isolates_context(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            dup = comm.Dup()
+            peer = 1 - ctx.rank
+            a = ctx.device.zeros(4)
+            b = ctx.device.zeros(4)
+            if ctx.rank == 0:
+                a.fill(1.0)
+                b.fill(2.0)
+                dup.Send(b, peer, tag=0)    # dup traffic first
+                comm.Send(a, peer, tag=0)
+                return None
+            # receive in the opposite order: contexts must not cross
+            comm.Recv(a, source=peer, tag=0)
+            dup.Recv(b, source=peer, tag=0)
+            return (a.array[0], b.array[0])
+
+        assert spmd(thetagpu1, body, nranks=2)[1] == (1.0, 2.0)
+
+    def test_dup_same_group(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            dup = comm.Dup()
+            return dup.rank == comm.rank and dup.size == comm.size
+
+        assert all(spmd(thetagpu1, body, nranks=4))
+
+
+class TestSplit:
+    def test_split_even_odd(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            sub = comm.Split(color=ctx.rank % 2, key=ctx.rank)
+            return (sub.rank, sub.size)
+
+        out = spmd(thetagpu1, body, nranks=6)
+        assert out == [(0, 3), (0, 3), (1, 3), (1, 3), (2, 3), (2, 3)]
+
+    def test_split_key_reorders(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            sub = comm.Split(color=0, key=-ctx.rank)  # reverse order
+            return sub.rank
+
+        assert spmd(thetagpu1, body, nranks=4) == [3, 2, 1, 0]
+
+    def test_split_undefined_color(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            sub = comm.Split(color=0 if ctx.rank == 0 else -1)
+            return sub is None
+
+        assert spmd(thetagpu1, body, nranks=3) == [False, True, True]
+
+    def test_split_collectives_work(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            sub = comm.Split(color=ctx.rank // 2)
+            buf = ctx.device.zeros(4)
+            buf.fill(1.0)
+            out = ctx.device.zeros(4)
+            sub.Allreduce(buf, out, SUM)
+            return out.array[0]
+
+        assert spmd(thetagpu1, body, nranks=4) == [2.0] * 4
+
+
+class TestFree:
+    def test_use_after_free(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            comm.Free()
+            try:
+                comm.Barrier()
+            except MPICommError:
+                return "caught"
+            return "missed"
+
+        assert spmd(thetagpu1, body, nranks=2) == ["caught", "caught"]
+
+
+class TestNonblockingCollectives:
+    def test_iallreduce(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            a = ctx.device.zeros(8)
+            a.fill(1.0)
+            b = ctx.device.zeros(8)
+            req = comm.Iallreduce(a, b, SUM)
+            req.wait()
+            return b.array[0]
+
+        assert spmd(thetagpu1, body, nranks=4) == [4.0] * 4
+
+    def test_ibarrier_ibcast(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            comm.Ibarrier().wait()
+            buf = ctx.device.zeros(4)
+            if ctx.rank == 0:
+                buf.fill(5.0)
+            comm.Ibcast(buf, root=0).wait()
+            return buf.array[0]
+
+        assert spmd(thetagpu1, body, nranks=3) == [5.0] * 3

@@ -1,0 +1,59 @@
+"""MPI datatype objects and discovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPITypeError
+from repro.mpi import datatypes as dt
+
+
+class TestPredefined:
+    def test_names_are_mpi_style(self):
+        assert dt.FLOAT.name == "MPI_FLOAT"
+        assert dt.DOUBLE_COMPLEX.name == "MPI_DOUBLE_COMPLEX"
+
+    def test_wire_sizes(self):
+        assert dt.FLOAT.itemsize == 4
+        assert dt.DOUBLE.itemsize == 8
+        assert dt.DOUBLE_COMPLEX.itemsize == 16
+
+    def test_bfloat16_wire_vs_storage(self):
+        # stored as float32 (numpy has no bfloat16) but 2 B on the wire
+        assert dt.BFLOAT16.storage == np.dtype(np.float32)
+        assert dt.BFLOAT16.wire_itemsize == 2
+
+    def test_kind_flags(self):
+        assert dt.FLOAT.is_float and not dt.FLOAT.is_complex
+        assert dt.DOUBLE_COMPLEX.is_complex
+        assert dt.INT32.is_integer
+        assert dt.BOOL.is_logical
+
+    def test_registry_complete(self):
+        assert "MPI_FLOAT" in dt.PREDEFINED
+        assert len(dt.PREDEFINED) >= 18
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("np_dtype,expected", [
+        (np.float32, dt.FLOAT), (np.float64, dt.DOUBLE),
+        (np.int32, dt.INT32), (np.int64, dt.INT64),
+        (np.complex128, dt.DOUBLE_COMPLEX), (np.uint8, dt.BYTE),
+        (np.float16, dt.FLOAT16), (np.bool_, dt.BOOL),
+    ])
+    def test_from_numpy(self, np_dtype, expected):
+        assert dt.from_numpy_dtype(np_dtype) is expected
+
+    def test_unmapped_dtype_rejected(self):
+        with pytest.raises(MPITypeError):
+            dt.from_numpy_dtype(np.dtype("U4"))
+
+    def test_datatype_of_buffer(self):
+        arr = np.zeros(4, dtype=np.float64)
+        assert dt.datatype_of(arr) is dt.DOUBLE
+
+    def test_datatype_of_passthrough(self):
+        assert dt.datatype_of(dt.FLOAT) is dt.FLOAT
+
+    def test_datatype_of_device_buffer(self, thetagpu1):
+        buf = thetagpu1.devices[0].empty(4, dtype=np.int32)
+        assert dt.datatype_of(buf) is dt.INT32

@@ -1,0 +1,91 @@
+"""Persistent requests (MPI_Send_init / MPI_Recv_init / Start)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPICommError, RankFailedError
+from repro.mpi import Communicator
+from repro.mpi.communicator import PersistentRequest, start_all
+
+
+class TestPersistent:
+    def test_repeated_halo_exchange(self, thetagpu1, spmd):
+        """The canonical use: set up once, Start each iteration."""
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            peer = 1 - ctx.rank
+            send = ctx.device.zeros(8)
+            recv = ctx.device.zeros(8)
+            sreq = comm.Send_init(send, peer, tag=3)
+            rreq = comm.Recv_init(recv, source=peer, tag=3)
+            got = []
+            for it in range(3):
+                send.fill(float(ctx.rank * 10 + it))
+                start_all([rreq, sreq])
+                sreq.wait()
+                rreq.wait()
+                got.append(float(recv.array[0]))
+            return got
+
+        out = spmd(thetagpu1, body, nranks=2)
+        assert out[0] == [10.0, 11.0, 12.0]
+        assert out[1] == [0.0, 1.0, 2.0]
+
+    def test_start_twice_without_wait(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                req = comm.Send_init(ctx.device.zeros(1 << 20), 1)
+                req.Start()
+                try:
+                    req.Start()
+                except MPICommError:
+                    return "rejected"
+                finally:
+                    req.wait()
+                    comm.Recv(ctx.device.zeros(1), source=1)
+            else:
+                comm.Recv(ctx.device.zeros(1 << 20), source=0)
+                comm.Send(ctx.device.zeros(1), 0)
+            return "rejected" if ctx.rank == 0 else None
+
+        assert spmd(thetagpu1, body, nranks=2)[0] == "rejected"
+
+    def test_wait_before_start(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            req = comm.Recv_init(ctx.device.zeros(4), source=0)
+            try:
+                req.wait()
+            except MPICommError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=1)[0] == "rejected"
+
+    def test_invalid_dest_caught_at_init(self, thetagpu1, spmd):
+        from repro.errors import MPIRankError
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            try:
+                comm.Send_init(ctx.device.zeros(4), 5)
+            except MPIRankError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=2)[0] == "rejected"
+
+    def test_active_flag(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.Send(ctx.device.zeros(4), 1, tag=9)
+                return None
+            req = comm.Recv_init(ctx.device.zeros(4), source=0, tag=9)
+            before = req.active
+            req.Start()
+            req.wait()
+            after = req.active
+            return (before, after)
+
+        assert spmd(thetagpu1, body, nranks=2)[1] == (False, False)

@@ -1,0 +1,184 @@
+"""One-sided communication: windows, put/get/accumulate, epochs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPICommError, MPIRankError, RankFailedError
+from repro.mpi import DOUBLE, PROD, SUM, Communicator
+from repro.mpi.rma import Win
+
+
+def world(ctx):
+    return Communicator.world(ctx)
+
+
+class TestWindowLifecycle:
+    def test_allocate_exposes_zeros(self, thetagpu1, spmd):
+        def body(ctx):
+            win = Win.allocate(world(ctx), 8)
+            return float(np.sum(win.local.array))
+
+        assert spmd(thetagpu1, body, nranks=4) == [0.0] * 4
+
+    def test_shared_view_across_ranks(self, thetagpu1, spmd):
+        def body(ctx):
+            win = Win.allocate(world(ctx), 4)
+            return all(win._target(r) is not None
+                       for r in range(win.comm.size))
+
+        assert all(spmd(thetagpu1, body, nranks=4))
+
+    def test_use_after_free(self, thetagpu1, spmd):
+        def body(ctx):
+            win = Win.allocate(world(ctx), 4)
+            win.free()
+            try:
+                win.put(np.zeros(1, dtype=np.float32), 0)
+            except MPICommError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=2) == ["rejected"] * 2
+
+    def test_negative_size(self, thetagpu1, spmd):
+        def body(ctx):
+            try:
+                Win.allocate(world(ctx), -1)
+            except MPICommError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=2) == ["rejected"] * 2
+
+
+class TestPutGet:
+    def test_put_visible_after_fence(self, thetagpu1, spmd):
+        """The mpi4py tutorial's RMA pattern: rank 0 fills rank 1's
+        window; everyone reads after the fence."""
+
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 10)
+            win.fence()
+            if ctx.rank == 0:
+                buf = ctx.device.empty(10)
+                buf.fill(42.0)
+                win.put(buf, target_rank=1)
+            win.fence()
+            return float(win.local.array[0])
+
+        out = spmd(thetagpu1, body, nranks=3)
+        assert out == [0.0, 42.0, 0.0]
+
+    def test_get_reads_remote(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 4)
+            win.local.array[:] = float(ctx.rank + 1) * 10
+            win.fence()
+            got = ctx.device.zeros(4)
+            win.get(got, target_rank=(ctx.rank + 1) % comm.size)
+            win.fence()
+            return float(got.array[0])
+
+        out = spmd(thetagpu1, body, nranks=4)
+        assert out == [20.0, 30.0, 40.0, 10.0]
+
+    def test_offset_window_access(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 8)
+            win.fence()
+            if ctx.rank == 0:
+                part = ctx.device.empty(2)
+                part.fill(7.0)
+                win.put(part, target_rank=1, target_offset=3, count=2)
+            win.fence()
+            return list(win.local.array)
+
+        out = spmd(thetagpu1, body, nranks=2)
+        assert out[1] == [0, 0, 0, 7, 7, 0, 0, 0]
+
+    def test_out_of_range_rejected(self, thetagpu1, spmd):
+        def body(ctx):
+            win = Win.allocate(world(ctx), 4)
+            try:
+                win.put(np.zeros(8, dtype=np.float32), 0)
+            except MPICommError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=2) == ["rejected"] * 2
+
+    def test_bad_target_rank(self, thetagpu1, spmd):
+        def body(ctx):
+            win = Win.allocate(world(ctx), 4)
+            try:
+                win.get(np.zeros(4, dtype=np.float32), 9)
+            except MPIRankError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=2) == ["rejected"] * 2
+
+    def test_rma_costs_virtual_time(self, thetagpu2, spmd):
+        """Remote puts cost more across nodes than within one."""
+
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 1 << 18)
+            win.fence()
+            t0 = ctx.now
+            if ctx.rank == 0:
+                win.put(ctx.device.zeros(1 << 18), target_rank=1)
+            win.fence()
+            return ctx.now - t0
+
+        intra = spmd(thetagpu2, body, nranks=2)[0]
+        inter = spmd(thetagpu2, body, nranks=2, ranks_per_node=1)[0]
+        assert inter > intra
+
+
+class TestAccumulate:
+    def test_sum_from_all_ranks(self, thetagpu1, spmd):
+        """Every rank accumulates into rank 0 — the one-sided
+        reduction idiom."""
+
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 4, DOUBLE)
+            win.fence()
+            contrib = ctx.device.empty(4, dtype=np.float64)
+            contrib.fill(float(ctx.rank + 1))
+            win.accumulate(contrib, target_rank=0, op=SUM)
+            win.fence()
+            return float(win.local.array[0])
+
+        out = spmd(thetagpu1, body, nranks=4)
+        assert out[0] == 10.0  # 1+2+3+4
+
+    def test_prod(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 2, DOUBLE)
+            win.local.array[:] = 1.0
+            win.fence()
+            two = ctx.device.empty(2, dtype=np.float64)
+            two.fill(2.0)
+            win.accumulate(two, target_rank=0, op=PROD)
+            win.fence()
+            return float(win.local.array[0])
+
+        assert spmd(thetagpu1, body, nranks=3)[0] == 8.0
+
+    def test_passive_target_lock_unlock(self, thetagpu1, spmd):
+        def body(ctx):
+            comm = world(ctx)
+            win = Win.allocate(comm, 1, DOUBLE)
+            win.fence()
+            one = ctx.device.empty(1, dtype=np.float64)
+            one.fill(1.0)
+            win.lock(0)
+            win.accumulate(one, target_rank=0, op=SUM)
+            win.unlock(0)
+            comm.Barrier()
+            return float(win.local.array[0])
+
+        out = spmd(thetagpu1, body, nranks=8)
+        assert out[0] == 8.0

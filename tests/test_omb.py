@@ -1,0 +1,241 @@
+"""OMB harness, pt2pt and collective benchmarks, stacks, Habana port."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, HardwareError
+from repro.hw.systems import make_system
+from repro.omb.collective import COLLECTIVE_BENCHMARKS, osu_allreduce
+from repro.omb.habana import (
+    alloc_device_buffer,
+    hpu_alloc,
+    hpu_free,
+    synapse_acquire,
+    synapse_device_count,
+)
+from repro.omb.harness import OMBConfig, aggregate_latency, timed_loop
+from repro.omb.pt2pt import osu_bibw, osu_bw, osu_latency
+from repro.omb.stacks import STACK_NAMES, make_stack, series_label
+from repro.sim.engine import Engine
+
+CFG = OMBConfig(sizes=(64, 65536), warmup=1, iterations=2)
+
+
+class TestHarness:
+    def test_config_sized(self):
+        cfg = OMBConfig(sizes=(4, 64, 1024, 65536)).sized(64, 1024)
+        assert cfg.sizes == (64, 1024)
+
+    def test_timed_loop_measures(self, thetagpu1, spmd):
+        def body(ctx):
+            def op():
+                ctx.clock.advance(10.0)
+
+            return timed_loop(ctx, OMBConfig(warmup=2, iterations=5),
+                              lambda: None, op)
+
+        assert spmd(thetagpu1, body, nranks=1)[0] == pytest.approx(10.0)
+
+    def test_aggregate_latency(self, thetagpu1, spmd):
+        def body(ctx):
+            return aggregate_latency(ctx, "k", 64, float(ctx.rank + 1),
+                                     ctx.size)
+
+        stats = spmd(thetagpu1, body, nranks=4)[0]
+        assert stats.avg_us == pytest.approx(2.5)
+        assert stats.min_us == 1.0
+        assert stats.max_us == 4.0
+
+
+class TestPt2pt:
+    def test_latency_increases_with_size(self, thetagpu1, spmd):
+        out = spmd(thetagpu1,
+                   lambda ctx: osu_latency(ctx, "nccl", CFG), nranks=2)[0]
+        assert out[65536] > out[64]
+
+    def test_idle_ranks_return_empty(self, thetagpu1, spmd):
+        out = spmd(thetagpu1,
+                   lambda ctx: osu_latency(ctx, "nccl", CFG), nranks=3)
+        assert out[2] == {}
+
+    def test_bw_below_link_capacity(self, thetagpu1, spmd):
+        out = spmd(thetagpu1, lambda ctx: osu_bw(ctx, "nccl", CFG), nranks=2)[0]
+        assert out[65536] < 146000  # cannot exceed raw NVSwitch
+
+    def test_bibw_between_1x_and_2x(self, thetagpu1, spmd):
+        bw = spmd(thetagpu1, lambda ctx: osu_bw(ctx, "nccl", CFG), nranks=2)[0]
+        bibw = spmd(thetagpu1, lambda ctx: osu_bibw(ctx, "nccl", CFG),
+                    nranks=2)[0]
+        assert bw[65536] < bibw[65536] < 2 * bw[65536]
+
+    def test_inter_node_latency_higher(self, thetagpu2, spmd):
+        intra = spmd(thetagpu2, lambda ctx: osu_latency(ctx, "nccl", CFG),
+                     nranks=2)[0]
+        inter = spmd(thetagpu2, lambda ctx: osu_latency(ctx, "nccl", CFG),
+                     nranks=2, ranks_per_node=1)[0]
+        assert inter[65536] > intra[65536]
+
+
+class TestCollectiveBenchmarks:
+    @pytest.mark.parametrize("coll", sorted(COLLECTIVE_BENCHMARKS))
+    def test_each_collective_runs_on_hybrid(self, thetagpu1, spmd, coll):
+        bench = COLLECTIVE_BENCHMARKS[coll]
+
+        def body(ctx):
+            return bench(ctx, make_stack(ctx, "hybrid", "nccl"), CFG)
+
+        stats = spmd(thetagpu1, body, nranks=4)[0]
+        expected = {0} if coll == "barrier" else {64, 65536}
+        assert set(stats) == expected
+        assert all(s.avg_us > 0 for s in stats.values())
+
+    def test_pure_ccl_stack(self, thetagpu1, spmd):
+        def body(ctx):
+            return osu_allreduce(ctx, make_stack(ctx, "ccl", "nccl"), CFG)
+
+        stats = spmd(thetagpu1, body, nranks=4)[0]
+        # CCL small-message latency floor ~ NCCL launch overhead
+        assert stats[64].avg_us > 20.0
+
+    def test_hybrid_small_beats_pure_ccl(self, thetagpu1, spmd):
+        def body(ctx, stack):
+            return osu_allreduce(ctx, make_stack(ctx, stack, "nccl"), CFG)
+
+        hybrid = Engine(thetagpu1, nranks=4).run(body, "hybrid")[0]
+        ccl = Engine(thetagpu1, nranks=4).run(body, "ccl")[0]
+        assert hybrid[64].avg_us < ccl[64].avg_us
+
+    def test_openmpi_slower_than_hybrid(self, thetagpu1):
+        def body(ctx, stack):
+            return osu_allreduce(ctx, make_stack(ctx, stack, "nccl"), CFG)
+
+        hybrid = Engine(thetagpu1, nranks=4).run(body, "hybrid")[0]
+        ucx = Engine(thetagpu1, nranks=4).run(body, "openmpi")[0]
+        assert ucx[64].avg_us > hybrid[64].avg_us
+
+
+class TestStacks:
+    def test_all_names_buildable(self, thetagpu1, spmd):
+        def body(ctx):
+            return [type(make_stack(ctx, n, "nccl")).__name__
+                    for n in STACK_NAMES]
+
+        names = spmd(thetagpu1, body, nranks=2)[0]
+        assert len(names) == len(STACK_NAMES)
+
+    def test_unknown_stack(self, thetagpu1, spmd):
+        def body(ctx):
+            try:
+                make_stack(ctx, "mvapich3")
+            except ConfigError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=1) == ["rejected"]
+
+    def test_series_labels(self):
+        assert series_label("hybrid", "nccl") == "Proposed Hybrid xCCL"
+        assert series_label("ccl", "msccl") == "Pure MSCCL"
+        assert series_label("pure-xccl", "hccl") == \
+            "Proposed xCCL w/ Pure HCCL"
+
+    def test_default_backend_by_vendor(self, voyager1, spmd):
+        def body(ctx):
+            stack = make_stack(ctx, "ccl", None)
+            return stack.comm.backend.name
+
+        assert spmd(voyager1, body, nranks=2)[0] == "hccl"
+
+
+class TestHabanaPort:
+    def test_device_count(self):
+        assert synapse_device_count(make_system("voyager", 2)) == 16
+        assert synapse_device_count(make_system("thetagpu", 1)) == 0
+
+    def test_acquire_rejects_non_gaudi(self):
+        with pytest.raises(HardwareError):
+            synapse_acquire(make_system("thetagpu", 1).devices[0])
+
+    def test_hpu_alloc_free(self, voyager1):
+        dev = voyager1.devices[0]
+        before = dev.allocated_bytes
+        buf = hpu_alloc(dev, 4096)
+        assert buf.on_device
+        assert dev.allocated_bytes == before + 4096
+        hpu_free(buf)
+        assert dev.allocated_bytes == before
+
+    def test_hpu_free_rejects_foreign(self, thetagpu1):
+        buf = thetagpu1.devices[0].malloc(64)
+        with pytest.raises(HardwareError):
+            hpu_free(buf)
+
+    def test_alloc_device_buffer_dispatch(self, voyager1, thetagpu1):
+        assert alloc_device_buffer(voyager1.devices[0], 64).on_device
+        assert alloc_device_buffer(thetagpu1.devices[0], 64).on_device
+
+    def test_hpu_buffers_flow_through_mpi(self, voyager1, spmd):
+        """The paper's port: Habana buffers through standard MPI."""
+        from repro.core.runtime import world_communicator
+        from repro.mpi import SUM
+
+        def body(ctx):
+            comm = world_communicator(ctx)
+            buf = hpu_alloc(ctx.device, 1 << 20)
+            buf.array[:] = 1
+            out = hpu_alloc(ctx.device, 1 << 20)
+            comm.Allreduce(buf, out, SUM)
+            return int(out.array[0])
+
+        assert spmd(voyager1, body, nranks=4) == [4] * 4
+
+
+class TestCLI:
+    def test_collective_cli(self, capsys):
+        from repro.omb.cli import main
+        assert main(["allreduce", "--system", "thetagpu", "--sizes", "4:1K",
+                     "--iterations", "2", "--warmup", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "osu_allreduce" in out
+        assert "1K" in out
+
+    def test_pt2pt_cli(self, capsys):
+        from repro.omb.cli import main
+        assert main(["latency", "--system", "mri", "--sizes", "4:64",
+                     "--iterations", "2"]) == 0
+        assert "Latency" in capsys.readouterr().out
+
+
+class TestMultiPairBandwidth:
+    CFG = OMBConfig(sizes=(1 << 20,), warmup=1, iterations=2)
+
+    def test_intra_pairs_scale_linearly(self, thetagpu1):
+        """Four pairs behind NVSwitch own private wires: aggregate
+        equals four single-pair bandwidths."""
+        from repro.omb.pt2pt import osu_mbw_mr
+        agg = Engine(thetagpu1, nranks=8).run(
+            lambda ctx: osu_mbw_mr(ctx, "nccl", self.CFG))[0]
+        single = Engine(thetagpu1, nranks=2).run(
+            lambda ctx: osu_bw(ctx, "nccl", self.CFG))[0]
+        assert agg[1 << 20] == pytest.approx(4 * single[1 << 20], rel=0.05)
+
+    def test_inter_pairs_share_the_nic(self, thetagpu2):
+        """Four pairs across two nodes funnel through one NIC pair:
+        aggregate is NIC-bound, far below 4x a single pair."""
+        from repro.omb.pt2pt import osu_mbw_mr
+        agg = Engine(thetagpu2, nranks=8, ranks_per_node=4).run(
+            lambda ctx: osu_mbw_mr(ctx, "nccl", self.CFG))[0]
+        single = Engine(thetagpu2, nranks=2, ranks_per_node=1).run(
+            lambda ctx: osu_bw(ctx, "nccl", self.CFG))[0]
+        assert agg[1 << 20] < 1.5 * single[1 << 20]
+        assert agg[1 << 20] == pytest.approx(single[1 << 20], rel=0.25)
+
+    def test_odd_rank_count_rejected(self, thetagpu1, spmd):
+        from repro.omb.pt2pt import osu_mbw_mr
+
+        def body(ctx):
+            try:
+                osu_mbw_mr(ctx, "nccl", self.CFG)
+            except ValueError:
+                return "rejected"
+
+        assert spmd(thetagpu1, body, nranks=3) == ["rejected"] * 3

@@ -1,0 +1,175 @@
+"""Closed-form model behaviour and calibration anchors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cluster import PathScope
+from repro.hw.systems import make_system
+from repro.mpi.config import mvapich_gpu, openmpi_ucx
+from repro.perfmodel import ccl_models, ccl_params, mpi_models
+from repro.perfmodel.params import BACKEND_PARAMS
+from repro.perfmodel.shape import CommShape, shape_of
+
+M4 = 4 << 20
+
+
+@pytest.fixture
+def theta_shape():
+    return shape_of(make_system("thetagpu", 1), range(8))
+
+
+@pytest.fixture
+def theta_multi():
+    return shape_of(make_system("thetagpu", 4), range(32))
+
+
+class TestShape:
+    def test_single_node(self, theta_shape):
+        assert theta_shape.p == 8
+        assert theta_shape.nodes == 1
+        assert not theta_shape.spans_nodes
+        assert theta_shape.inter is None
+
+    def test_multi_node(self, theta_multi):
+        assert theta_multi.nodes == 4
+        assert theta_multi.ppn == 8
+        assert theta_multi.spans_nodes
+
+    def test_bus_division(self):
+        shape = shape_of(make_system("mri", 1), range(2))
+        assert not shape.switched
+
+    def test_nic_requires_fabric(self, theta_shape):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            theta_shape.nic_beta(1.0)
+
+    def test_bottleneck_beta_inter_is_min(self, theta_multi):
+        b = theta_multi.bottleneck_beta(1.0, 1.0)
+        assert b == pytest.approx(theta_multi.inter.beta_bpus)
+
+    def test_empty_rankset_rejected(self):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            shape_of(make_system("mri", 1), [])
+
+
+class TestCCLModels:
+    def test_p2p_anchor_nccl(self):
+        cluster = make_system("thetagpu", 1)
+        path = cluster.path(cluster.devices[0], cluster.devices[1])
+        t = ccl_models.p2p_time(ccl_params("nccl"), path, M4)
+        assert t == pytest.approx(56.0, rel=0.1)
+
+    def test_p2p_anchor_hccl_inter(self):
+        cluster = make_system("voyager", 2)
+        path = cluster.path(cluster.devices[0], cluster.devices[8])
+        t = ccl_models.p2p_time(ccl_params("hccl"), path, M4)
+        assert t == pytest.approx(835.0, rel=0.1)
+
+    def test_launch_floor_dominates_small(self, theta_shape):
+        for name, params in BACKEND_PARAMS.items():
+            t = ccl_models.allreduce_time(params, theta_shape, 4)
+            assert t >= params.launch_us
+
+    def test_roughly_monotone_in_size(self, theta_shape):
+        # protocol/segmentation switches produce mild dips (real NCCL
+        # latency curves do the same); bound them at 30%
+        params = ccl_params("nccl")
+        prev = 0.0
+        for k in range(2, 23):
+            t = ccl_models.allreduce_time(params, theta_shape, 1 << k)
+            assert t >= prev * 0.7
+            prev = t
+        # and the 4 MB point costs clearly more than the 4 B point
+        small = ccl_models.allreduce_time(params, theta_shape, 4)
+        large = ccl_models.allreduce_time(params, theta_shape, 4 << 20)
+        assert large > small
+
+    def test_msccl_beats_nccl212_midrange(self, theta_shape):
+        msccl = ccl_models.allreduce_time(ccl_params("msccl"), theta_shape,
+                                          16 * 1024)
+        from repro.xccl.registry import get_backend
+        nccl212 = ccl_models.allreduce_time(get_backend("nccl-2.12").params,
+                                            theta_shape, 16 * 1024)
+        assert msccl < nccl212
+
+    def test_single_rank_is_launch_only(self):
+        shape = shape_of(make_system("thetagpu", 1), range(1))
+        t = ccl_models.allreduce_time(ccl_params("nccl"), shape, M4)
+        assert t == ccl_params("nccl").launch_us
+
+    def test_unknown_collective(self, theta_shape):
+        with pytest.raises(ConfigError):
+            ccl_models.collective_time(ccl_params("nccl"), theta_shape,
+                                       "scan", 4)
+
+    def test_alltoall_scales_with_ranks(self):
+        p8 = shape_of(make_system("thetagpu", 1), range(8))
+        p4 = shape_of(make_system("thetagpu", 1), range(4))
+        params = ccl_params("nccl")
+        assert ccl_models.alltoall_time(params, p8, 65536) > \
+            ccl_models.alltoall_time(params, p4, 65536)
+
+
+class TestMPIModels:
+    def test_monotone_in_size(self, theta_shape):
+        cfg = mvapich_gpu()
+        prev = 0.0
+        for k in range(2, 23):
+            t = mpi_models.allreduce_time(cfg, theta_shape, 1 << k)
+            assert t >= prev * 0.98  # algorithm switches allow tiny dips
+            prev = t
+
+    def test_openmpi_slower_than_mvapich(self, theta_shape):
+        for coll in ("allreduce", "bcast", "alltoall"):
+            a = mpi_models.collective_time(mvapich_gpu(), theta_shape, coll,
+                                           4096)
+            b = mpi_models.collective_time(openmpi_ucx(), theta_shape, coll,
+                                           4096)
+            assert b > a
+
+    def test_multi_node_slower(self, theta_shape, theta_multi):
+        cfg = mvapich_gpu()
+        t1 = mpi_models.allreduce_time(cfg, theta_shape, 4096)
+        t4 = mpi_models.allreduce_time(cfg, theta_multi, 4096)
+        assert t4 > t1
+
+    def test_unknown_collective(self, theta_shape):
+        with pytest.raises(ConfigError):
+            mpi_models.collective_time(mvapich_gpu(), theta_shape, "scan", 4)
+
+    def test_barrier_positive(self, theta_multi):
+        assert mpi_models.barrier_time(mvapich_gpu(), theta_multi) > 0
+
+
+class TestEngineModelAgreement:
+    """The analytic models must track the engine on small comms —
+    they drive the hybrid routing, so systematic bias would misroute."""
+
+    @pytest.mark.parametrize("coll,sizes", [
+        ("allreduce", (1024, 262144)),
+        ("bcast", (1024, 262144)),
+        ("allgather", (1024, 65536)),
+    ])
+    def test_within_2x(self, spmd, coll, sizes):
+        from repro.mpi import Communicator, SUM
+        from repro.omb.collective import COLLECTIVE_BENCHMARKS
+        from repro.omb.harness import OMBConfig
+
+        cluster = make_system("thetagpu", 1)
+        shape = shape_of(cluster, range(8))
+        cfg = mvapich_gpu()
+        bench = COLLECTIVE_BENCHMARKS[coll]
+        config = OMBConfig(sizes=sizes, warmup=1, iterations=3)
+
+        def body(ctx):
+            comm = Communicator.world(ctx, cfg)
+            return bench(ctx, comm, config)
+
+        stats = spmd(cluster, body)[0]
+        for size in sizes:
+            engine_t = stats[size].avg_us
+            model_t = mpi_models.collective_time(cfg, shape, coll, size)
+            ratio = model_t / engine_t
+            assert 0.4 < ratio < 2.5, (coll, size, engine_t, model_t)

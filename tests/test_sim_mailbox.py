@@ -1,0 +1,70 @@
+"""Mailbox matching semantics (single-threaded behaviours)."""
+
+import pytest
+
+from repro.sim.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message, ProgressMonitor
+
+
+def _msg(src=0, tag=0, **meta):
+    return Message(src=src, dst=1, tag=tag, data=b"", depart_us=0.0,
+                   arrival_us=1.0, nbytes=0, meta=meta)
+
+
+@pytest.fixture
+def box():
+    return Mailbox(1, ProgressMonitor(timeout_s=0.5))
+
+
+class TestMatching:
+    def test_fifo_per_source_tag(self, box):
+        box.post(_msg(tag=7, idx=1))
+        box.post(_msg(tag=7, idx=2))
+        assert box.try_match(src=0, tag=7).meta["idx"] == 1
+        assert box.try_match(src=0, tag=7).meta["idx"] == 2
+
+    def test_tag_filter(self, box):
+        box.post(_msg(tag=1))
+        assert box.try_match(src=0, tag=2) is None
+        assert box.try_match(src=0, tag=1) is not None
+
+    def test_source_filter(self, box):
+        box.post(_msg(src=3))
+        assert box.try_match(src=2) is None
+        assert box.try_match(src=3) is not None
+
+    def test_any_source_any_tag(self, box):
+        box.post(_msg(src=5, tag=9))
+        assert box.try_match(src=ANY_SOURCE, tag=ANY_TAG) is not None
+
+    def test_where_predicate(self, box):
+        box.post(_msg(kind="a"))
+        box.post(_msg(kind="b"))
+        m = box.try_match(where=lambda m: m.meta.get("kind") == "b")
+        assert m.meta["kind"] == "b"
+
+    def test_probe_nondestructive(self, box):
+        box.post(_msg(tag=4))
+        assert box.probe(tag=4) is not None
+        assert box.pending == 1
+        assert box.try_match(tag=4) is not None
+        assert box.pending == 0
+
+    def test_match_returns_posted(self, box):
+        box.post(_msg(tag=3))
+        assert box.match(src=0, tag=3).tag == 3
+
+    def test_deadlock_detection(self, box):
+        from repro.errors import DeadlockError
+        with pytest.raises(DeadlockError):
+            box.match(src=0, tag=99)  # nothing will ever arrive
+
+
+class TestProgressMonitor:
+    def test_not_stalled_initially(self):
+        assert not ProgressMonitor(10.0).stalled()
+
+    def test_stall_latches(self):
+        mon = ProgressMonitor(timeout_s=-1.0)  # instantly stale
+        assert mon.stalled()
+        mon.note_progress()
+        assert mon.stalled()  # deadlock state is final

@@ -1,0 +1,78 @@
+"""Wire occupancy: serialization and arrival computation."""
+
+import pytest
+
+from repro.sim.wire import WireTracker, reverse_key
+
+
+class TestReverseKey:
+    def test_fwd_rev(self):
+        assert reverse_key(("intra", 0, 0, 1, "fwd")) == ("intra", 0, 0, 1, "rev")
+
+    def test_out_in(self):
+        assert reverse_key(("nic", 2, "out")) == ("nic", 2, "in")
+
+    def test_unknown_direction_unchanged(self):
+        key = ("x", "weird")
+        assert reverse_key(key) == key
+
+
+class TestWireTracker:
+    def test_single_transfer(self):
+        w = WireTracker()
+        arrival = w.book([("l", "fwd")], depart_us=0.0, nbytes=1000,
+                         beta_bpus=100.0, alpha_us=2.0)
+        assert arrival == 12.0  # 10 wire + 2 alpha
+
+    def test_back_to_back_serialize(self):
+        w = WireTracker()
+        w.book([("l", "fwd")], 0.0, 1000, 100.0, 2.0)
+        second = w.book([("l", "fwd")], 0.0, 1000, 100.0, 2.0)
+        assert second == 22.0  # starts at 10, +10 wire +2 alpha
+
+    def test_disjoint_wires_parallel(self):
+        w = WireTracker()
+        a = w.book([("a", "fwd")], 0.0, 1000, 100.0, 0.0)
+        b = w.book([("b", "fwd")], 0.0, 1000, 100.0, 0.0)
+        assert a == b == 10.0
+
+    def test_later_departure_no_wait(self):
+        w = WireTracker()
+        w.book([("l", "fwd")], 0.0, 1000, 100.0, 0.0)       # busy to 10
+        arrival = w.book([("l", "fwd")], 50.0, 1000, 100.0, 0.0)
+        assert arrival == 60.0
+
+    def test_multi_resource_bottleneck(self):
+        w = WireTracker()
+        w.book([("nic", 0, "out")], 0.0, 1000, 100.0, 0.0)   # busy to 10
+        arrival = w.book([("nic", 0, "out"), ("nic", 1, "in")],
+                         0.0, 1000, 100.0, 0.0)
+        assert arrival == 20.0  # waits for the shared egress
+
+    def test_empty_resources_local(self):
+        w = WireTracker()
+        assert w.book([], 5.0, 1000, 100.0, 1.0) == 16.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WireTracker().book([("l", "fwd")], 0.0, -1, 1.0, 0.0)
+
+    def test_free_at_and_reset(self):
+        w = WireTracker()
+        w.book([("l", "fwd")], 0.0, 1000, 100.0, 0.0)
+        assert w.free_at(("l", "fwd")) == 10.0
+        w.reset()
+        assert w.free_at(("l", "fwd")) == 0.0
+
+    def test_zero_beta_zero_wire(self):
+        w = WireTracker()
+        assert w.book([("l", "fwd")], 0.0, 100, 0.0, 3.0) == 3.0
+
+    def test_throughput_emerges_from_occupancy(self):
+        # a window of N messages cannot exceed wire bandwidth
+        w = WireTracker()
+        last = 0.0
+        for _ in range(64):
+            last = w.book([("l", "fwd")], 0.0, 1000, 100.0, 1.0)
+        # 64 * 10us wire occupancy + final alpha
+        assert last == pytest.approx(641.0)

@@ -1,0 +1,88 @@
+"""ResultRecord / ResultSet behaviour."""
+
+import json
+
+import pytest
+
+from repro.util.records import ResultRecord, ResultSet
+
+
+def _mk(series, x, value, exp="e"):
+    return ResultRecord(exp, series, float(x), float(value), "us",
+                        meta={"k": 1})
+
+
+class TestResultSet:
+    def test_add_and_len(self):
+        rs = ResultSet()
+        rs.add(_mk("a", 1, 10))
+        assert len(rs) == 1
+
+    def test_series_sorted_by_x(self):
+        rs = ResultSet([_mk("a", 4, 1), _mk("a", 1, 2), _mk("b", 2, 3)])
+        assert [r.x for r in rs.series("a")] == [1.0, 4.0]
+
+    def test_series_names_first_seen_order(self):
+        rs = ResultSet([_mk("b", 1, 1), _mk("a", 1, 1), _mk("b", 2, 1)])
+        assert rs.series_names() == ["b", "a"]
+
+    def test_xs_distinct_sorted(self):
+        rs = ResultSet([_mk("a", 4, 1), _mk("b", 4, 2), _mk("a", 1, 3)])
+        assert rs.xs() == [1.0, 4.0]
+
+    def test_value_at(self):
+        rs = ResultSet([_mk("a", 2, 42)])
+        assert rs.value_at("a", 2) == 42.0
+        with pytest.raises(KeyError):
+            rs.value_at("a", 3)
+
+    def test_filter(self):
+        rs = ResultSet([_mk("a", 1, 1), _mk("b", 1, 2)])
+        assert len(rs.filter(lambda r: r.series == "a")) == 1
+
+    def test_crossover_found(self):
+        # b becomes <= a at x=4
+        rs = ResultSet([_mk("a", 1, 10), _mk("b", 1, 20),
+                        _mk("a", 4, 10), _mk("b", 4, 9)])
+        assert rs.crossover("a", "b") == 4.0
+
+    def test_crossover_never(self):
+        rs = ResultSet([_mk("a", 1, 10), _mk("b", 1, 20)])
+        assert rs.crossover("a", "b") is None
+
+    def test_to_csv_has_meta_columns(self):
+        text = ResultSet([_mk("a", 1, 1)]).to_csv()
+        header = text.splitlines()[0]
+        assert "meta.k" in header
+        assert "series" in header
+
+    def test_to_json_roundtrips(self):
+        data = json.loads(ResultSet([_mk("a", 1, 1)]).to_json())
+        assert data[0]["series"] == "a"
+        assert data[0]["meta.k"] == 1
+
+    def test_save_csv_and_json(self, tmp_path):
+        rs = ResultSet([_mk("a", 1, 1)])
+        c = tmp_path / "out.csv"
+        j = tmp_path / "out.json"
+        rs.save(str(c))
+        rs.save(str(j))
+        assert c.read_text().startswith("experiment")
+        assert json.loads(j.read_text())[0]["experiment"] == "e"
+
+    def test_getitem_and_iter(self):
+        rs = ResultSet([_mk("a", 1, 1), _mk("a", 2, 2)])
+        assert rs[1].x == 2.0
+        assert sum(1 for _ in rs) == 2
+
+
+class TestResultRecord:
+    def test_as_dict_flattens_meta(self):
+        d = _mk("a", 1, 2).as_dict()
+        assert d["meta.k"] == 1
+        assert "meta" not in d
+
+    def test_frozen(self):
+        r = _mk("a", 1, 2)
+        with pytest.raises(AttributeError):
+            r.value = 3.0

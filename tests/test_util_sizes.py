@@ -1,0 +1,91 @@
+"""Size parsing/formatting and sweeps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.util.sizes import (
+    DEFAULT_OMB_SIZES,
+    format_size,
+    parse_size,
+    power_of_two_sizes,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_plain_digit_string(self):
+        assert parse_size("512") == 512
+
+    @pytest.mark.parametrize("text,expected", [
+        ("4K", 4096), ("4k", 4096), ("16KB", 16384), ("1M", 1 << 20),
+        ("4M", 4 << 20), ("2G", 2 << 30), ("1KiB", 1024), ("8B", 8),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional(self):
+        assert parse_size("0.5K") == 512
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  4M ") == 4 << 20
+
+    @pytest.mark.parametrize("bad", ["", "K", "4X", "4 Q", "--4", None, 1.5])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(True)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("n,expected", [
+        (4, "4"), (1024, "1K"), (4096, "4K"), (1 << 20, "1M"),
+        (4 << 20, "4M"), (1 << 30, "1G"), (1536, "1536"),
+    ])
+    def test_round_values(self, n, expected):
+        assert format_size(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_roundtrip_parses_back(self, n):
+        assert parse_size(format_size(n)) == n
+
+
+class TestPowerOfTwoSizes:
+    def test_default_sweep_bounds(self):
+        assert DEFAULT_OMB_SIZES[0] == 4
+        assert DEFAULT_OMB_SIZES[-1] == 4 << 20
+
+    def test_all_powers_of_two(self):
+        for s in DEFAULT_OMB_SIZES:
+            assert s & (s - 1) == 0
+
+    def test_contiguous_doubling(self):
+        for a, b in zip(DEFAULT_OMB_SIZES, DEFAULT_OMB_SIZES[1:]):
+            assert b == 2 * a
+
+    def test_min_rounds_up(self):
+        assert power_of_two_sizes(5, 64) == [8, 16, 32, 64]
+
+    def test_single_point(self):
+        assert power_of_two_sizes(16, 16) == [16]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigError):
+            power_of_two_sizes(1024, 4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            power_of_two_sizes(0, 4)

@@ -1,0 +1,107 @@
+"""RunningStats, percentile, geometric mean."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, geometric_mean, percentile
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.n == 0
+        assert rs.mean == 0.0
+        assert rs.variance == 0.0
+
+    def test_single(self):
+        rs = RunningStats()
+        rs.push(5.0)
+        assert rs.mean == 5.0
+        assert rs.min == 5.0
+        assert rs.max == 5.0
+        assert rs.variance == 0.0
+
+    def test_known_sequence(self):
+        rs = RunningStats()
+        rs.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert rs.mean == pytest.approx(5.0)
+        assert rs.stddev == pytest.approx(np.std([2, 4, 4, 4, 5, 5, 7, 9],
+                                                 ddof=1))
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_matches_numpy(self, xs):
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.mean == pytest.approx(np.mean(xs), rel=1e-6, abs=1e-6)
+        assert rs.min == min(xs)
+        assert rs.max == max(xs)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30),
+           st.lists(finite_floats, min_size=1, max_size=30))
+    def test_merge_equals_concat(self, a, b):
+        ra, rb, rc = RunningStats(), RunningStats(), RunningStats()
+        ra.extend(a)
+        rb.extend(b)
+        rc.extend(a + b)
+        merged = ra.merge(rb)
+        assert merged.n == rc.n
+        assert merged.mean == pytest.approx(rc.mean, rel=1e-6, abs=1e-6)
+        assert merged.min == rc.min
+        assert merged.max == rc.max
+
+    def test_merge_with_empty(self):
+        ra, rb = RunningStats(), RunningStats()
+        ra.extend([1.0, 2.0])
+        merged = ra.merge(rb)
+        assert merged.n == 2
+        assert merged.mean == 1.5
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=40),
+           st.floats(min_value=0, max_value=100))
+    def test_matches_numpy_linear(self, xs, q):
+        assert percentile(xs, q) == pytest.approx(
+            float(np.percentile(xs, q)), rel=1e-6, abs=1e-6)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=1,
+                    max_size=20))
+    def test_bounded_by_min_max(self, xs):
+        # relative slack: exp(mean(log x)) rounds within a few ulps
+        g = geometric_mean(xs)
+        assert min(xs) * (1 - 1e-12) <= g <= max(xs) * (1 + 1e-12)

@@ -1,0 +1,56 @@
+"""ASCII table formatting."""
+
+import pytest
+
+from repro.util.tables import ascii_table, omb_header
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        text = ascii_table(["Size", "Lat"], [[4, 1.5], [1024, 20.25]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["Size", "Lat"]
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = ascii_table(["a"], [[1]], title="hello")
+        assert text.splitlines()[0] == "# hello"
+
+    def test_float_precision_small(self):
+        text = ascii_table(["v"], [[0.1234567]])
+        assert "0.1235" in text
+
+    def test_float_precision_large(self):
+        text = ascii_table(["v"], [[137031.4]])
+        assert "137031" in text
+
+    def test_zero(self):
+        assert "0.00" in ascii_table(["v"], [[0.0]])
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_right_alignment(self):
+        text = ascii_table(["value"], [[7]])
+        row = text.splitlines()[-1]
+        assert row.endswith("7")
+
+    def test_left_alignment_option(self):
+        text = ascii_table(["value"], [["x"]], right_align=False)
+        assert text.splitlines()[-1].startswith("x")
+
+
+class TestOMBHeader:
+    def test_contents(self):
+        h = omb_header("osu_allreduce", "thetagpu", "nccl", 8, extra="note")
+        assert "osu_allreduce" in h
+        assert "thetagpu" in h
+        assert "nccl" in h
+        assert "Ranks: 8" in h
+        assert "# note" in h
+
+    def test_no_extra(self):
+        h = omb_header("osu_bw", "mri", "rccl", 2)
+        assert len(h.splitlines()) == 2
