@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick report examples tune clean
+.PHONY: install test test-all bench bench-quick bench-hotpath report examples tune clean
 
 install:
 	pip install -e .
 
+# default pytest config deselects @pytest.mark.slow sweeps
 test:
 	$(PYTHON) -m pytest tests/
+
+test-all:
+	$(PYTHON) -m pytest tests/ -m ""
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
@@ -18,6 +22,9 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

@@ -106,6 +106,11 @@ class XCCLAbstractionLayer:
         if comm is not None:
             comm.destroy()
 
+    def release(self, mpi_comm) -> None:
+        """Communicator-free hook used by the dispatcher fast path
+        (alias of :meth:`invalidate`)."""
+        self.invalidate(mpi_comm)
+
     #: fixed per-call cost of the abstraction layer: buffer identify,
     #: datatype conversion, op mapping (Fig. 2 checks).
     CALL_OVERHEAD_US = 0.4

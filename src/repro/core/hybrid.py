@@ -18,11 +18,13 @@ Scan/exscan and the barrier have no CCL mapping and always run on MPI.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
+from repro import fastpath
 from repro.errors import CCLError
 from repro.core.abstraction import XCCLAbstractionLayer
 from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
+from repro.core.plan import CollectivePlan, PlanCache
 from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
 from repro.mpi.coll import MPICollDispatcher
 from repro.mpi.communicator import IN_PLACE
@@ -49,29 +51,79 @@ class HybridDispatcher(MPICollDispatcher):
         self.mode = mode
         self._table = table
         self.stats = RouteStats()
+        #: per-communicator (ctx_id-keyed) compiled plans — the
+        #: dispatcher is per-rank, so these are thread-confined.
+        self._plans: Dict[str, PlanCache] = {}
+        self._tables: Dict[str, TuningTable] = {}
 
     # -- decision chain -----------------------------------------------------
 
     def _table_for(self, comm) -> TuningTable:
         if self._table is not None:
             return self._table
+        if fastpath.plans_enabled():
+            table = self._tables.get(comm.ctx_id)
+            if table is not None:
+                return table
         from repro.perfmodel.shape import shape_of
         shape = shape_of(comm.ctx.cluster, comm.group,
                          comm.ctx.engine.ranks_per_node)
         assert self.layer.backend is not None
-        return cached_table(shape, self.layer.backend.params, comm.config)
+        table = cached_table(shape, self.layer.backend.params, comm.config)
+        if fastpath.plans_enabled():
+            self._tables[comm.ctx_id] = table
+        return table
+
+    def plan_cache(self, comm) -> PlanCache:
+        """This communicator's compiled-plan store."""
+        cache = self._plans.get(comm.ctx_id)
+        if cache is None:
+            cache = self._plans[comm.ctx_id] = PlanCache()
+        return cache
+
+    def release(self, comm) -> None:
+        """Drop everything cached for ``comm`` (MPI ``Comm_free``):
+        compiled plans, the tuning table binding, and the abstraction
+        layer's CCL communicator."""
+        self._plans.pop(comm.ctx_id, None)
+        self._tables.pop(comm.ctx_id, None)
+        self.layer.release(comm)
 
     def decide(self, comm, coll: str, nbytes: int, dt=None, op=None,
                *buffers) -> RouteDecision:
-        """The routing decision for one call (exposed for tests)."""
+        """The routing decision for one call (exposed for tests).
+
+        The decision is a pure function of (mode, collective, byte
+        count, datatype, reduce op, buffer residency); with the fast
+        path enabled it is compiled into a :class:`CollectivePlan` once
+        and replayed from the communicator's plan cache.
+        """
+        significant = [b for b in buffers if b is not None and b is not IN_PLACE]
+        on_device = not significant or \
+            self.layer.identify_device_buffer(*significant)
+        if not fastpath.plans_enabled():
+            return self._decide(comm, coll, nbytes, dt, op, significant,
+                                on_device)
+        key = (self.mode, coll, nbytes, dt.name if dt is not None else None,
+               op.name if op is not None else None, on_device)
+        cache = self.plan_cache(comm)
+        plan = cache.lookup(key)
+        if plan is None:
+            decision = self._decide(comm, coll, nbytes, dt, op, significant,
+                                    on_device)
+            plan = cache.store(key, CollectivePlan(key=key, decision=decision))
+        return plan.decision
+
+    def _decide(self, comm, coll: str, nbytes: int, dt, op, significant,
+                on_device: bool) -> RouteDecision:
+        """One uncached walk of the Fig. 2 decision chain."""
         if self.mode == DispatchMode.PURE_MPI:
             return RouteDecision(Route.MPI, FallbackReason.MODE)
         if not self.layer.available:
             return RouteDecision(Route.MPI, FallbackReason.NO_BACKEND)
         if coll not in TUNABLE_COLLECTIVES:
             return RouteDecision(Route.MPI, FallbackReason.UNSUPPORTED_COLL)
-        significant = [b for b in buffers if b is not None and b is not IN_PLACE]
-        if significant and not self.layer.identify_device_buffer(*significant):
+        if significant and not on_device:
             return RouteDecision(Route.MPI, FallbackReason.HOST_BUFFER)
         if dt is not None and not self.layer.supports_datatype(dt):
             return RouteDecision(Route.MPI, FallbackReason.DATATYPE)

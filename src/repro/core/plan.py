@@ -1,0 +1,137 @@
+"""Collective plans: compiled-once, replayed routing + geometry.
+
+OMB sweeps and training loops call the *same* collective on the *same*
+communicator thousands of times.  Everything the dispatcher derives per
+call — the Fig. 2 routing decision, the algorithm choice, chunk
+geometry, staging-buffer shapes — is a pure function of a small key:
+
+    (communicator, collective, dtype, reduce op, byte count, residency)
+
+A :class:`CollectivePlan` captures that derivation once;
+:class:`PlanCache` replays it on every later call with one dict lookup.
+The hybrid dispatcher keeps one cache per communicator
+(:meth:`repro.core.hybrid.HybridDispatcher.plan_cache`), and the
+mpi4py-style persistent collectives (``Allreduce_init`` →
+``Request.Start()``) warm it at init time.
+
+:class:`BufferPool` is the allocation-reuse half: staging scratch
+buffers keyed by (residency, dtype, element count) are recycled across
+iterations instead of re-allocated (``alloc_like`` charges no virtual
+time, so pooling is invisible to the simulated clock).
+
+The whole layer honors :func:`repro.fastpath.plans_enabled`; disabling
+it restores per-call derivation with bit-identical results (the
+regression tests in ``tests/test_plan_cache.py`` prove it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import fastpath
+from repro.core.fallback import RouteDecision
+
+
+@dataclass
+class CollectivePlan:
+    """One compiled collective execution plan.
+
+    Attributes:
+        key: the cache key this plan was compiled for.
+        decision: the Fig. 2 routing decision (MPI vs xCCL + reason).
+        algorithm: resolved MPI algorithm name (None on the xCCL route
+            or when the base dispatcher resolves it itself).
+        chunks: pre-computed ``(offset, size)`` chunk geometry, when
+            the algorithm splits the payload.
+        staging: pre-resolved staging-buffer shapes as
+            ``(device_resident, dtype_str, count)`` pool keys.
+        extra: free-form per-plan scratch (peer schedules, displs, ...).
+    """
+
+    key: Tuple
+    decision: RouteDecision
+    algorithm: Optional[str] = None
+    chunks: Optional[Tuple[Tuple[int, int], ...]] = None
+    staging: Tuple[Tuple[bool, str, int], ...] = ()
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class PlanCache:
+    """Per-communicator store of compiled plans.
+
+    Thread-confined by construction: each rank's dispatcher owns its
+    own caches, so no locking is needed on the lookup path.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[Tuple, CollectivePlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple) -> Optional[CollectivePlan]:
+        """The cached plan for ``key``, or None (counts hit/miss)."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            fastpath.STATS.note_hit()
+        else:
+            self.misses += 1
+            fastpath.STATS.note_miss()
+        return plan
+
+    def store(self, key: Tuple, plan: CollectivePlan) -> CollectivePlan:
+        """Register a freshly compiled plan."""
+        self._plans[key] = plan
+        fastpath.STATS.note_compiled()
+        return plan
+
+    def clear(self) -> None:
+        """Drop every plan (communicator free / invalidation)."""
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<PlanCache plans={len(self._plans)} hits={self.hits} "
+                f"misses={self.misses}>")
+
+
+#: keep at most this many free buffers per (residency, dtype, count).
+POOL_CAP_PER_KEY = 8
+
+
+class BufferPool:
+    """Free-list of staging buffers keyed by shape.
+
+    ``acquire`` hands back a previously released buffer of the exact
+    (residency, dtype, count) shape, or None when the pool is empty —
+    the caller then allocates fresh.  Contents are undefined on
+    acquire, matching ``alloc_like``'s ``np.empty`` semantics.
+    """
+
+    def __init__(self, cap_per_key: int = POOL_CAP_PER_KEY) -> None:
+        self._free: Dict[Tuple, List[Any]] = {}
+        self.cap_per_key = cap_per_key
+
+    def acquire(self, key: Tuple) -> Optional[Any]:
+        """Pop a pooled buffer for ``key`` (None when empty)."""
+        free = self._free.get(key)
+        if free:
+            fastpath.STATS.note_pool_reuse()
+            return free.pop()
+        return None
+
+    def release(self, key: Tuple, buf: Any) -> None:
+        """Return a buffer to the pool (dropped beyond the cap)."""
+        free = self._free.setdefault(key, [])
+        if len(free) < self.cap_per_key:
+            free.append(buf)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer."""
+        self._free.clear()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._free.values())

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import fastpath
 from repro.hw.memory import Buffer, as_array
 from repro.mpi.communicator import IN_PLACE
 from repro.mpi.datatypes import Datatype
@@ -49,12 +50,25 @@ def xccl_alltoallv(comm: XCCLComm, sendbuf, sendcounts: Sequence[int],
     xcclStreamSynchronize(comm)
 
 
+def _uniform_geometry(comm: XCCLComm, count: int):
+    """``(counts, displs)`` for a uniform per-peer exchange, compiled
+    once per (collective geometry, count) and replayed from the CCL
+    communicator when the plan fast path is on."""
+    p = comm.size
+    if not fastpath.plans_enabled():
+        return [count] * p, [r * count for r in range(p)]
+    key = ("uniform", count)
+    geom = comm.plan_geometry.get(key)
+    if geom is None:
+        geom = ([count] * p, [r * count for r in range(p)])
+        comm.plan_geometry[key] = geom
+    return geom
+
+
 def xccl_alltoall(comm: XCCLComm, sendbuf, recvbuf, count: int,
                   dt: Datatype) -> None:
     """MPI_Alltoall: the uniform special case of Listing 1."""
-    p = comm.size
-    counts = [count] * p
-    displs = [r * count for r in range(p)]
+    counts, displs = _uniform_geometry(comm, count)
     xccl_alltoallv(comm, sendbuf, counts, displs, recvbuf, counts, displs, dt)
 
 

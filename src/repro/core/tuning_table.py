@@ -140,10 +140,12 @@ _cache: Dict[Tuple, TuningTable] = {}
 
 def cached_table(shape: CommShape, ccl: CCLParams,
                  mpi_config: MPIConfig) -> TuningTable:
-    """Process-wide memoized :func:`tune_offline`."""
-    key = (ccl.name, mpi_config.name, shape.p, shape.nodes, shape.ppn,
-           shape.intra.kind.value,
-           shape.inter.kind.value if shape.inter else None)
+    """Process-wide memoized :func:`tune_offline`.
+
+    Keyed directly on the (hashable, frozen) parameter dataclasses, so
+    two calls with equal inputs return the *same* table object.
+    """
+    key = (ccl, mpi_config, shape)
     table = _cache.get(key)
     if table is None:
         table = tune_offline(shape, ccl, mpi_config)

@@ -1,0 +1,103 @@
+"""Process-wide switch and counters for the collective fast path.
+
+The plan-caching layer (:mod:`repro.core.plan`) and the memoized
+closed-form model evaluations consult one global switch so the whole
+fast path can be disabled at once — for A/B benchmarking
+(``benchmarks/bench_hotpath.py``) and for the cache-on vs cache-off
+bit-identity regression tests.  Results must be identical either way;
+the switch only trades repeated derivation work for cached replay.
+
+This module sits below every other ``repro`` package (it imports
+nothing from them) so the perf models, the MPI algorithms, and the
+core layer can all share the switch without import cycles.
+
+Control: the ``MPIX_PLAN_CACHE`` environment variable (``0``/``false``
+/ ``off`` disables; default enabled), or :func:`set_plans_enabled` at
+runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict
+
+_FALSY = {"0", "false", "off", "no", ""}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("MPIX_PLAN_CACHE", "1").strip().lower() not in _FALSY
+
+
+_enabled = _env_enabled()
+
+
+def plans_enabled() -> bool:
+    """Whether the plan cache / memoization fast path is active."""
+    return _enabled
+
+
+def set_plans_enabled(flag: bool) -> bool:
+    """Flip the fast path on or off; returns the previous setting."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(flag)
+    return prev
+
+
+class PlanStats:
+    """Hit/miss/compile counters for the plan-caching layer.
+
+    One global instance (:data:`STATS`) aggregates across every rank
+    thread; :class:`repro.core.plan.PlanCache` instances keep their own
+    per-communicator view as well.  Counters are guarded by a lock —
+    they are touched by every rank thread of an engine run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.compiled = 0
+        self.pool_reuses = 0
+
+    def note_hit(self, n: int = 1) -> None:
+        """Record ``n`` plan-cache hits."""
+        with self._lock:
+            self.hits += n
+
+    def note_miss(self) -> None:
+        """Record one plan-cache miss."""
+        with self._lock:
+            self.misses += 1
+
+    def note_compiled(self) -> None:
+        """Record one freshly compiled plan."""
+        with self._lock:
+            self.compiled += 1
+
+    def note_pool_reuse(self) -> None:
+        """Record one staging buffer served from a pool."""
+        with self._lock:
+            self.pool_reuses += 1
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        with self._lock:
+            self.hits = self.misses = self.compiled = self.pool_reuses = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the counters."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "compiled": self.compiled,
+                    "pool_reuses": self.pool_reuses}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.snapshot()
+        return (f"<PlanStats hits={s['hits']} misses={s['misses']} "
+                f"compiled={s['compiled']} pool_reuses={s['pool_reuses']}>")
+
+
+#: process-wide counters (every PlanCache and pool also reports here).
+STATS = PlanStats()

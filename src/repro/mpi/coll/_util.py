@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
+from repro import fastpath
 from repro.hw.memory import Buffer, as_array, is_device_buffer
 from repro.mpi.communicator import IN_PLACE
 
@@ -22,10 +23,18 @@ def seg(buf, offset: int, count: int):
     return as_array(buf)[offset:offset + count]
 
 
-def chunk_bounds(count: int, parts: int) -> List[Tuple[int, int]]:
+_CHUNK_CACHE: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+
+
+def chunk_bounds(count: int, parts: int) -> Tuple[Tuple[int, int], ...]:
     """(offset, size) of ``count`` elements split into ``parts``
     contiguous chunks, np.array_split-style (first ``count % parts``
-    chunks one element larger)."""
+    chunks one element larger).  Pure in its arguments, so the result
+    is memoized — every ring/pairwise step re-derives the same split."""
+    if fastpath.plans_enabled():
+        cached = _CHUNK_CACHE.get((count, parts))
+        if cached is not None:
+            return cached
     base, rem = divmod(count, parts)
     bounds = []
     off = 0
@@ -33,7 +42,12 @@ def chunk_bounds(count: int, parts: int) -> List[Tuple[int, int]]:
         size = base + (1 if i < rem else 0)
         bounds.append((off, size))
         off += size
-    return bounds
+    result = tuple(bounds)
+    if fastpath.plans_enabled():
+        if len(_CHUNK_CACHE) > 1 << 14:
+            _CHUNK_CACHE.clear()
+        _CHUNK_CACHE[(count, parts)] = result
+    return result
 
 
 def is_inplace(sendbuf) -> bool:

@@ -8,7 +8,7 @@ rank count in ``ceil(log2 p)`` rounds — the small-message choice.
 from __future__ import annotations
 
 from repro.mpi.coll._util import is_inplace, seg
-from repro.mpi.compute import alloc_like, local_copy
+from repro.mpi.compute import acquire_staging, local_copy, release_staging
 from repro.mpi.datatypes import Datatype
 
 
@@ -62,25 +62,28 @@ def allgather_bruck(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
     if p == 1:
         _materialize_own_block(comm, sendbuf, recvbuf, count)
         return
-    tmp = alloc_like(comm.ctx, recvbuf, p * count, dt.storage)
-    own = seg(recvbuf, rank * count, count) if is_inplace(sendbuf) \
-        else seg(sendbuf, 0, count)
-    local_copy(comm.ctx, seg(tmp, 0, count), own)
-    have = 1
-    while have < p:
-        cnt = min(have, p - have)
-        dst = (rank - have) % p
-        src = (rank + have) % p
-        comm.Sendrecv(seg(tmp, 0, cnt * count), dst,
-                      seg(tmp, have * count, cnt * count), src,
-                      sendtag=tag, datatype=dt)
-        have += cnt
-    # tmp[j] holds block of rank (rank + j) % p; rotate into place
-    for j in range(p):
-        block = (rank + j) % p
-        local_copy(comm.ctx, seg(recvbuf, block * count, count),
-                   seg(tmp, j * count, count), charge=False)
-    comm.ctx.clock.advance(0.2 + p * count * dt.storage.itemsize / 24000.0)
+    tmp = acquire_staging(comm.ctx, recvbuf, p * count, dt.storage)
+    try:
+        own = seg(recvbuf, rank * count, count) if is_inplace(sendbuf) \
+            else seg(sendbuf, 0, count)
+        local_copy(comm.ctx, seg(tmp, 0, count), own)
+        have = 1
+        while have < p:
+            cnt = min(have, p - have)
+            dst = (rank - have) % p
+            src = (rank + have) % p
+            comm.Sendrecv(seg(tmp, 0, cnt * count), dst,
+                          seg(tmp, have * count, cnt * count), src,
+                          sendtag=tag, datatype=dt)
+            have += cnt
+        # tmp[j] holds block of rank (rank + j) % p; rotate into place
+        for j in range(p):
+            block = (rank + j) % p
+            local_copy(comm.ctx, seg(recvbuf, block * count, count),
+                       seg(tmp, j * count, count), charge=False)
+        comm.ctx.clock.advance(0.2 + p * count * dt.storage.itemsize / 24000.0)
+    finally:
+        release_staging(comm.ctx, tmp)
 
 
 def allgatherv_ring(comm, sendbuf, recvbuf, counts, displs,

@@ -14,7 +14,9 @@ from __future__ import annotations
 from repro.mpi.coll._util import (
     chunk_bounds, is_inplace, largest_pof2_below, materialize_input, seg,
 )
-from repro.mpi.compute import alloc_like, apply_reduce, local_copy
+from repro.mpi.compute import (
+    acquire_staging, apply_reduce, local_copy, release_staging,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
@@ -27,43 +29,47 @@ def allreduce_recursive_doubling(comm, sendbuf, recvbuf, count: int,
     materialize_input(comm, sendbuf, recvbuf, count)
     if p == 1:
         return
-    tmp = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-    acc = seg(recvbuf, 0, count)
+    tmp = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+    try:
+        acc = seg(recvbuf, 0, count)
+        tseg = seg(tmp, 0, count)
 
-    pof2 = largest_pof2_below(p)
-    rem = p - pof2
-    # fold the odd ranks into their even neighbours
-    if rank < 2 * rem:
-        if rank % 2 == 0:
-            comm.Send(acc, rank + 1, tag, count=count, datatype=dt)
-            newrank = -1
+        pof2 = largest_pof2_below(p)
+        rem = p - pof2
+        # fold the odd ranks into their even neighbours
+        if rank < 2 * rem:
+            if rank % 2 == 0:
+                comm.Send(acc, rank + 1, tag, count=count, datatype=dt)
+                newrank = -1
+            else:
+                comm.Recv(tseg, source=rank - 1, tag=tag,
+                          count=count, datatype=dt)
+                apply_reduce(comm.ctx, comm.config, op, acc, tseg)
+                newrank = rank // 2
         else:
-            comm.Recv(seg(tmp, 0, count), source=rank - 1, tag=tag,
-                      count=count, datatype=dt)
-            apply_reduce(comm.ctx, comm.config, op, acc, seg(tmp, 0, count))
-            newrank = rank // 2
-    else:
-        newrank = rank - rem
+            newrank = rank - rem
 
-    def old(nr: int) -> int:
-        return nr * 2 + 1 if nr < rem else nr + rem
+        def old(nr: int) -> int:
+            return nr * 2 + 1 if nr < rem else nr + rem
 
-    if newrank != -1:
-        mask = 1
-        while mask < pof2:
-            partner = old(newrank ^ mask)
-            comm.Sendrecv(acc, partner, seg(tmp, 0, count), partner,
-                          sendtag=tag + 1, datatype=dt)
-            apply_reduce(comm.ctx, comm.config, op, acc, seg(tmp, 0, count))
-            mask <<= 1
+        if newrank != -1:
+            mask = 1
+            while mask < pof2:
+                partner = old(newrank ^ mask)
+                comm.Sendrecv(acc, partner, tseg, partner,
+                              sendtag=tag + 1, datatype=dt)
+                apply_reduce(comm.ctx, comm.config, op, acc, tseg)
+                mask <<= 1
 
-    # return results to the folded ranks
-    if rank < 2 * rem:
-        if rank % 2 == 1:
-            comm.Send(acc, rank - 1, tag + 2, count=count, datatype=dt)
-        else:
-            comm.Recv(acc, source=rank + 1, tag=tag + 2,
-                      count=count, datatype=dt)
+        # return results to the folded ranks
+        if rank < 2 * rem:
+            if rank % 2 == 1:
+                comm.Send(acc, rank - 1, tag + 2, count=count, datatype=dt)
+            else:
+                comm.Recv(acc, source=rank + 1, tag=tag + 2,
+                          count=count, datatype=dt)
+    finally:
+        release_staging(comm.ctx, tmp)
 
 
 def allreduce_ring(comm, sendbuf, recvbuf, count: int, dt: Datatype,
@@ -78,32 +84,35 @@ def allreduce_ring(comm, sendbuf, recvbuf, count: int, dt: Datatype,
         return
     bounds = chunk_bounds(count, p)
     maxchunk = max(size for _, size in bounds)
-    tmp = alloc_like(comm.ctx, recvbuf, max(maxchunk, 1), dt.storage)
-    right = (rank + 1) % p
-    left = (rank - 1) % p
+    tmp = acquire_staging(comm.ctx, recvbuf, max(maxchunk, 1), dt.storage)
+    try:
+        right = (rank + 1) % p
+        left = (rank - 1) % p
 
-    # reduce-scatter ring: after p-1 steps, chunk (rank+1)%p is complete
-    for step in range(p - 1):
-        send_chunk = (rank - step) % p
-        recv_chunk = (rank - step - 1) % p
-        soff, ssize = bounds[send_chunk]
-        roff, rsize = bounds[recv_chunk]
-        comm.Sendrecv(seg(recvbuf, soff, ssize), right,
-                      seg(tmp, 0, rsize), left,
-                      sendtag=tag, datatype=dt)
-        if rsize:
-            apply_reduce(comm.ctx, comm.config, op,
-                         seg(recvbuf, roff, rsize), seg(tmp, 0, rsize))
+        # reduce-scatter ring: after p-1 steps, chunk (rank+1)%p is complete
+        for step in range(p - 1):
+            send_chunk = (rank - step) % p
+            recv_chunk = (rank - step - 1) % p
+            soff, ssize = bounds[send_chunk]
+            roff, rsize = bounds[recv_chunk]
+            comm.Sendrecv(seg(recvbuf, soff, ssize), right,
+                          seg(tmp, 0, rsize), left,
+                          sendtag=tag, datatype=dt)
+            if rsize:
+                apply_reduce(comm.ctx, comm.config, op,
+                             seg(recvbuf, roff, rsize), seg(tmp, 0, rsize))
 
-    # allgather ring: circulate the completed chunks
-    for step in range(p - 1):
-        send_chunk = (rank + 1 - step) % p
-        recv_chunk = (rank - step) % p
-        soff, ssize = bounds[send_chunk]
-        roff, rsize = bounds[recv_chunk]
-        comm.Sendrecv(seg(recvbuf, soff, ssize), right,
-                      seg(recvbuf, roff, rsize), left,
-                      sendtag=tag + 1, datatype=dt)
+        # allgather ring: circulate the completed chunks
+        for step in range(p - 1):
+            send_chunk = (rank + 1 - step) % p
+            recv_chunk = (rank - step) % p
+            soff, ssize = bounds[send_chunk]
+            roff, rsize = bounds[recv_chunk]
+            comm.Sendrecv(seg(recvbuf, soff, ssize), right,
+                          seg(recvbuf, roff, rsize), left,
+                          sendtag=tag + 1, datatype=dt)
+    finally:
+        release_staging(comm.ctx, tmp)
 
 
 def allreduce_rabenseifner(comm, sendbuf, recvbuf, count: int, dt: Datatype,
@@ -120,50 +129,53 @@ def allreduce_rabenseifner(comm, sendbuf, recvbuf, count: int, dt: Datatype,
                                      else None, recvbuf, count, dt, op)
         return
     bounds = chunk_bounds(count, p)
-    tmp = alloc_like(comm.ctx, recvbuf, count, dt.storage)
+    tmp = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
 
     def span(clo: int, chi: int):
         off = bounds[clo][0]
         end = bounds[chi - 1][0] + bounds[chi - 1][1]
         return off, end - off
 
-    # recursive halving reduce-scatter over chunk ranges
-    lo, hi = 0, p
-    step = p // 2
-    while step >= 1:
-        mid = lo + step
-        if rank < mid:
-            partner = rank + step
-            soff, ssize = span(mid, hi)
-            roff, rsize = span(lo, mid)
-            hi_next = (lo, mid)
-        else:
-            partner = rank - step
-            soff, ssize = span(lo, mid)
-            roff, rsize = span(mid, hi)
-            hi_next = (mid, hi)
-        comm.Sendrecv(seg(recvbuf, soff, ssize), partner,
-                      seg(tmp, 0, rsize), partner,
-                      sendtag=tag, datatype=dt)
-        apply_reduce(comm.ctx, comm.config, op,
-                     seg(recvbuf, roff, rsize), seg(tmp, 0, rsize))
-        lo, hi = hi_next
-        step //= 2
-    # now chunk `rank` of recvbuf is fully reduced (lo == rank)
+    try:
+        # recursive halving reduce-scatter over chunk ranges
+        lo, hi = 0, p
+        step = p // 2
+        while step >= 1:
+            mid = lo + step
+            if rank < mid:
+                partner = rank + step
+                soff, ssize = span(mid, hi)
+                roff, rsize = span(lo, mid)
+                hi_next = (lo, mid)
+            else:
+                partner = rank - step
+                soff, ssize = span(lo, mid)
+                roff, rsize = span(mid, hi)
+                hi_next = (mid, hi)
+            comm.Sendrecv(seg(recvbuf, soff, ssize), partner,
+                          seg(tmp, 0, rsize), partner,
+                          sendtag=tag, datatype=dt)
+            apply_reduce(comm.ctx, comm.config, op,
+                         seg(recvbuf, roff, rsize), seg(tmp, 0, rsize))
+            lo, hi = hi_next
+            step //= 2
+        # now chunk `rank` of recvbuf is fully reduced (lo == rank)
 
-    # recursive doubling allgather over chunk ranges
-    mask = 1
-    while mask < p:
-        partner = rank ^ mask
-        # owned region before this step is aligned to `mask` chunks
-        my_lo = (rank // mask) * mask
-        partner_lo = my_lo ^ mask
-        soff, ssize = span(my_lo, my_lo + mask)
-        roff, rsize = span(partner_lo, partner_lo + mask)
-        comm.Sendrecv(seg(recvbuf, soff, ssize), partner,
-                      seg(recvbuf, roff, rsize), partner,
-                      sendtag=tag + 1, datatype=dt)
-        mask <<= 1
+        # recursive doubling allgather over chunk ranges
+        mask = 1
+        while mask < p:
+            partner = rank ^ mask
+            # owned region before this step is aligned to `mask` chunks
+            my_lo = (rank // mask) * mask
+            partner_lo = my_lo ^ mask
+            soff, ssize = span(my_lo, my_lo + mask)
+            roff, rsize = span(partner_lo, partner_lo + mask)
+            comm.Sendrecv(seg(recvbuf, soff, ssize), partner,
+                          seg(recvbuf, roff, rsize), partner,
+                          sendtag=tag + 1, datatype=dt)
+            mask <<= 1
+    finally:
+        release_staging(comm.ctx, tmp)
 
 
 def _log2(x: int) -> int:

@@ -8,8 +8,14 @@ volume — the very-small-message winner.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro import fastpath
+from repro.hw.memory import as_array
 from repro.mpi.coll._util import seg
-from repro.mpi.compute import alloc_like, local_copy
+from repro.mpi.compute import acquire_staging, local_copy, release_staging
 from repro.mpi.datatypes import Datatype
 from repro.mpi.request import waitall
 
@@ -46,6 +52,29 @@ def alltoall_pairwise(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
                       sendtag=tag, datatype=dt)
 
 
+#: compiled Bruck geometry per (p, rank): the phase-1/3 rotation
+#: permutations and, per bit, the packed block indices.
+_BRUCK_GEOMETRY: Dict[Tuple[int, int], Tuple] = {}
+
+
+def _bruck_geometry(p: int, rank: int) -> Tuple:
+    geom = _BRUCK_GEOMETRY.get((p, rank))
+    if geom is None:
+        rot_in = np.arange(p)
+        rot_in = (rot_in + rank) % p          # phase 1: tmp[i] = send[(rank+i)%p]
+        rot_out = (rank - np.arange(p)) % p   # phase 3: recv[s] = tmp[(rank-s)%p]
+        bits = []
+        bit = 1
+        while bit < p:
+            bits.append((bit, np.array([i for i in range(p) if i & bit])))
+            bit <<= 1
+        geom = (rot_in, rot_out, tuple(bits))
+        if len(_BRUCK_GEOMETRY) > 1 << 12:
+            _BRUCK_GEOMETRY.clear()
+        _BRUCK_GEOMETRY[(p, rank)] = geom
+    return geom
+
+
 def alltoall_bruck(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
     """Bruck alltoall: rotate, ``ceil(log2 p)`` packed exchanges,
     rotate back."""
@@ -56,39 +85,81 @@ def alltoall_bruck(comm, sendbuf, recvbuf, count: int, dt: Datatype) -> None:
         return
     itemsize = dt.storage.itemsize
     # phase 1: tmp[i] = block destined to rank (rank + i) % p
-    tmp = alloc_like(comm.ctx, sendbuf, p * count, dt.storage)
-    for i in range(p):
-        blk = (rank + i) % p
-        local_copy(comm.ctx, seg(tmp, i * count, count),
-                   seg(sendbuf, blk * count, count), charge=False)
-    comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+    tmp = acquire_staging(comm.ctx, sendbuf, p * count, dt.storage)
+    pack = acquire_staging(comm.ctx, sendbuf, ((p + 1) // 2) * count, dt.storage)
+    unpack = acquire_staging(comm.ctx, sendbuf, ((p + 1) // 2) * count,
+                             dt.storage)
+    try:
+        if fastpath.plans_enabled():
+            # replay the compiled permutations as whole-buffer gathers —
+            # block-for-block the same copies as the loops below, with
+            # the same explicit virtual-time charges
+            rot_in, rot_out, bits = _bruck_geometry(p, rank)
+            send2d = as_array(sendbuf)[:p * count].reshape(p, count)
+            recv2d = as_array(recvbuf)[:p * count].reshape(p, count)
+            tmp2d = as_array(tmp).reshape(p, count)
+            pack2d = as_array(pack).reshape(-1, count)
+            unpack2d = as_array(unpack).reshape(-1, count)
+            if send2d.dtype == tmp2d.dtype:
+                np.take(send2d, rot_in, axis=0, out=tmp2d)
+            else:
+                tmp2d[...] = send2d[rot_in].astype(tmp2d.dtype)
+            comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
 
-    # phase 2: for each bit, ship the blocks whose index has that bit set
-    pack = alloc_like(comm.ctx, sendbuf, ((p + 1) // 2) * count, dt.storage)
-    unpack = alloc_like(comm.ctx, sendbuf, ((p + 1) // 2) * count, dt.storage)
-    bit = 1
-    while bit < p:
-        idxs = [i for i in range(p) if i & bit]
-        for j, i in enumerate(idxs):
-            local_copy(comm.ctx, seg(pack, j * count, count),
-                       seg(tmp, i * count, count), charge=False)
-        n = len(idxs) * count
-        comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
-        dst = (rank + bit) % p
-        src = (rank - bit) % p
-        comm.Sendrecv(seg(pack, 0, n), dst, seg(unpack, 0, n), src,
-                      sendtag=tag, datatype=dt)
-        for j, i in enumerate(idxs):
+            for bit, idxs in bits:
+                k = len(idxs)
+                pack2d[:k] = tmp2d[idxs]
+                n = k * count
+                comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+                dst = (rank + bit) % p
+                src = (rank - bit) % p
+                comm.Sendrecv(seg(pack, 0, n), dst, seg(unpack, 0, n), src,
+                              sendtag=tag, datatype=dt)
+                tmp2d[idxs] = unpack2d[:k]
+                comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+
+            if recv2d.dtype == tmp2d.dtype:
+                np.take(tmp2d, rot_out, axis=0, out=recv2d)
+            else:
+                recv2d[...] = tmp2d[rot_out].astype(recv2d.dtype)
+            comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+            return
+
+        for i in range(p):
+            blk = (rank + i) % p
             local_copy(comm.ctx, seg(tmp, i * count, count),
-                       seg(unpack, j * count, count), charge=False)
-        comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
-        bit <<= 1
+                       seg(sendbuf, blk * count, count), charge=False)
+        comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
 
-    # phase 3: tmp[(rank - src) % p] holds the block from `src`
-    for srcr in range(p):
-        local_copy(comm.ctx, seg(recvbuf, srcr * count, count),
-                   seg(tmp, ((rank - srcr) % p) * count, count), charge=False)
-    comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+        # phase 2: for each bit, ship the blocks whose index has that bit set
+        bit = 1
+        while bit < p:
+            idxs = [i for i in range(p) if i & bit]
+            for j, i in enumerate(idxs):
+                local_copy(comm.ctx, seg(pack, j * count, count),
+                           seg(tmp, i * count, count), charge=False)
+            n = len(idxs) * count
+            comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+            dst = (rank + bit) % p
+            src = (rank - bit) % p
+            comm.Sendrecv(seg(pack, 0, n), dst, seg(unpack, 0, n), src,
+                          sendtag=tag, datatype=dt)
+            for j, i in enumerate(idxs):
+                local_copy(comm.ctx, seg(tmp, i * count, count),
+                           seg(unpack, j * count, count), charge=False)
+            comm.ctx.clock.advance(0.2 + n * itemsize / 24000.0)
+            bit <<= 1
+
+        # phase 3: tmp[(rank - src) % p] holds the block from `src`
+        for srcr in range(p):
+            local_copy(comm.ctx, seg(recvbuf, srcr * count, count),
+                       seg(tmp, ((rank - srcr) % p) * count, count),
+                       charge=False)
+        comm.ctx.clock.advance(0.2 + p * count * itemsize / 24000.0)
+    finally:
+        release_staging(comm.ctx, unpack)
+        release_staging(comm.ctx, pack)
+        release_staging(comm.ctx, tmp)
 
 
 def alltoallv_scattered(comm, sendbuf, sendcounts, sdispls,

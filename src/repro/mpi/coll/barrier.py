@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mpi.coll._util import is_inplace, seg
-from repro.mpi.compute import alloc_like, apply_reduce, local_copy
+from repro.mpi.compute import (
+    acquire_staging, apply_reduce, local_copy, release_staging,
+)
 from repro.mpi.datatypes import BYTE, Datatype
 from repro.mpi.ops import Op
 
@@ -34,13 +36,16 @@ def scan_linear(comm, sendbuf, recvbuf, count: int, dt: Datatype,
     if not is_inplace(sendbuf):
         local_copy(comm.ctx, seg(recvbuf, 0, count), seg(sendbuf, 0, count))
     if rank > 0:
-        tmp = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-        comm.Recv(seg(tmp, 0, count), source=rank - 1, tag=tag,
-                  count=count, datatype=dt)
-        # rank order matters for non-commutative ops: acc = prev op mine
-        a = seg(tmp, 0, count)
-        apply_reduce(comm.ctx, comm.config, op, a, seg(recvbuf, 0, count))
-        local_copy(comm.ctx, seg(recvbuf, 0, count), a)
+        tmp = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+        try:
+            comm.Recv(seg(tmp, 0, count), source=rank - 1, tag=tag,
+                      count=count, datatype=dt)
+            # rank order matters for non-commutative ops: acc = prev op mine
+            a = seg(tmp, 0, count)
+            apply_reduce(comm.ctx, comm.config, op, a, seg(recvbuf, 0, count))
+            local_copy(comm.ctx, seg(recvbuf, 0, count), a)
+        finally:
+            release_staging(comm.ctx, tmp)
     if rank < p - 1:
         comm.Send(seg(recvbuf, 0, count), rank + 1, tag,
                   count=count, datatype=dt)
@@ -53,17 +58,25 @@ def exscan_linear(comm, sendbuf, recvbuf, count: int, dt: Datatype,
     tag = comm.next_coll_tag()
     contrib = recvbuf if is_inplace(sendbuf) else sendbuf
     # running total to forward = (prefix through me)
-    acc = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-    if rank == 0:
-        local_copy(comm.ctx, seg(acc, 0, count), seg(contrib, 0, count))
-    else:
-        comm.Recv(seg(acc, 0, count), source=rank - 1, tag=tag,
-                  count=count, datatype=dt)
-        mine = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-        local_copy(comm.ctx, seg(mine, 0, count), seg(contrib, 0, count),
-                   charge=False)
-        local_copy(comm.ctx, seg(recvbuf, 0, count), seg(acc, 0, count))
-        apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count),
-                     seg(mine, 0, count))
-    if rank < p - 1:
-        comm.Send(seg(acc, 0, count), rank + 1, tag, count=count, datatype=dt)
+    acc = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+    try:
+        if rank == 0:
+            local_copy(comm.ctx, seg(acc, 0, count), seg(contrib, 0, count))
+        else:
+            comm.Recv(seg(acc, 0, count), source=rank - 1, tag=tag,
+                      count=count, datatype=dt)
+            mine = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+            try:
+                local_copy(comm.ctx, seg(mine, 0, count),
+                           seg(contrib, 0, count), charge=False)
+                local_copy(comm.ctx, seg(recvbuf, 0, count),
+                           seg(acc, 0, count))
+                apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count),
+                             seg(mine, 0, count))
+            finally:
+                release_staging(comm.ctx, mine)
+        if rank < p - 1:
+            comm.Send(seg(acc, 0, count), rank + 1, tag, count=count,
+                      datatype=dt)
+    finally:
+        release_staging(comm.ctx, acc)

@@ -8,7 +8,7 @@ the tree would move interior data twice).
 from __future__ import annotations
 
 from repro.mpi.coll._util import is_inplace, seg
-from repro.mpi.compute import alloc_like, local_copy
+from repro.mpi.compute import acquire_staging, local_copy, release_staging
 from repro.mpi.datatypes import Datatype
 
 
@@ -42,35 +42,40 @@ def gather_binomial(comm, sendbuf, recvbuf, count: int, dt: Datatype,
         return
     rel = (rank - root) % p
     # scratch indexed by relative rank; slot 0 = my own block
-    work = alloc_like(comm.ctx, sendbuf if not is_inplace(sendbuf) else recvbuf,
-                      p * count, dt.storage)
-    own = seg(recvbuf, rank * count, count) if is_inplace(sendbuf) \
-        else seg(sendbuf, 0, count)
-    local_copy(comm.ctx, seg(work, 0, count), own)
-    have = 1  # blocks held, starting at relative rank `rel`
-    mask = 1
-    while mask < p:
-        if rel & mask:
-            parent = ((rel - mask) + root) % p
-            comm.Send(seg(work, 0, have * count), parent, tag,
-                      count=have * count, datatype=dt)
-            break
-        child_rel = rel | mask
-        if child_rel < p:
-            child = (child_rel + root) % p
-            child_have = min(mask, p - child_rel)
-            comm.Recv(seg(work, mask * count, child_have * count),
-                      source=child, tag=tag,
-                      count=child_have * count, datatype=dt)
-            have = mask + child_have
-        mask <<= 1
-    if rel == 0:
-        # work[j] = block of rank (root + j) % p; unrotate into recvbuf
-        for j in range(p):
-            r = (root + j) % p
-            local_copy(comm.ctx, seg(recvbuf, r * count, count),
-                       seg(work, j * count, count), charge=False)
-        comm.ctx.clock.advance(0.2 + p * count * dt.storage.itemsize / 24000.0)
+    work = acquire_staging(
+        comm.ctx, sendbuf if not is_inplace(sendbuf) else recvbuf,
+        p * count, dt.storage)
+    try:
+        own = seg(recvbuf, rank * count, count) if is_inplace(sendbuf) \
+            else seg(sendbuf, 0, count)
+        local_copy(comm.ctx, seg(work, 0, count), own)
+        have = 1  # blocks held, starting at relative rank `rel`
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                parent = ((rel - mask) + root) % p
+                comm.Send(seg(work, 0, have * count), parent, tag,
+                          count=have * count, datatype=dt)
+                break
+            child_rel = rel | mask
+            if child_rel < p:
+                child = (child_rel + root) % p
+                child_have = min(mask, p - child_rel)
+                comm.Recv(seg(work, mask * count, child_have * count),
+                          source=child, tag=tag,
+                          count=child_have * count, datatype=dt)
+                have = mask + child_have
+            mask <<= 1
+        if rel == 0:
+            # work[j] = block of rank (root + j) % p; unrotate into recvbuf
+            for j in range(p):
+                r = (root + j) % p
+                local_copy(comm.ctx, seg(recvbuf, r * count, count),
+                           seg(work, j * count, count), charge=False)
+            comm.ctx.clock.advance(
+                0.2 + p * count * dt.storage.itemsize / 24000.0)
+    finally:
+        release_staging(comm.ctx, work)
 
 
 def gatherv_linear(comm, sendbuf, recvbuf, counts, displs, dt: Datatype,
@@ -120,39 +125,43 @@ def scatter_binomial(comm, sendbuf, recvbuf, count: int, dt: Datatype,
                        seg(sendbuf, root * count, count))
         return
     rel = (rank - root) % p
-    work = alloc_like(comm.ctx, recvbuf, p * count, dt.storage)
-    have = 0
-    if rel == 0:
-        # rotate into relative order: work[j] = block of (root + j) % p
-        for j in range(p):
-            r = (root + j) % p
-            local_copy(comm.ctx, seg(work, j * count, count),
-                       seg(sendbuf, r * count, count), charge=False)
-        comm.ctx.clock.advance(0.2 + p * count * dt.storage.itemsize / 24000.0)
-        have = p
-        mask = _largest_pof2(p)
-    else:
-        mask = 1
-        while mask < p:
-            if rel & mask:
-                parent = ((rel - mask) + root) % p
-                have = min(mask, p - rel)
-                comm.Recv(seg(work, 0, have * count), source=parent, tag=tag,
-                          count=have * count, datatype=dt)
-                break
-            mask <<= 1
-        # children masks mirror binomial bcast: below my lowest set bit
-        mask = (rel & -rel) >> 1
-    while mask > 0:
-        child_rel = rel + mask
-        if child_rel < p and have > mask:
-            child = (child_rel + root) % p
-            child_cnt = min(have - mask, mask)
-            comm.Send(seg(work, mask * count, child_cnt * count), child, tag,
-                      count=child_cnt * count, datatype=dt)
-            have = mask
-        mask >>= 1
-    local_copy(comm.ctx, seg(recvbuf, 0, count), seg(work, 0, count))
+    work = acquire_staging(comm.ctx, recvbuf, p * count, dt.storage)
+    try:
+        have = 0
+        if rel == 0:
+            # rotate into relative order: work[j] = block of (root + j) % p
+            for j in range(p):
+                r = (root + j) % p
+                local_copy(comm.ctx, seg(work, j * count, count),
+                           seg(sendbuf, r * count, count), charge=False)
+            comm.ctx.clock.advance(
+                0.2 + p * count * dt.storage.itemsize / 24000.0)
+            have = p
+            mask = _largest_pof2(p)
+        else:
+            mask = 1
+            while mask < p:
+                if rel & mask:
+                    parent = ((rel - mask) + root) % p
+                    have = min(mask, p - rel)
+                    comm.Recv(seg(work, 0, have * count), source=parent,
+                              tag=tag, count=have * count, datatype=dt)
+                    break
+                mask <<= 1
+            # children masks mirror binomial bcast: below my lowest set bit
+            mask = (rel & -rel) >> 1
+        while mask > 0:
+            child_rel = rel + mask
+            if child_rel < p and have > mask:
+                child = (child_rel + root) % p
+                child_cnt = min(have - mask, mask)
+                comm.Send(seg(work, mask * count, child_cnt * count), child,
+                          tag, count=child_cnt * count, datatype=dt)
+                have = mask
+            mask >>= 1
+        local_copy(comm.ctx, seg(recvbuf, 0, count), seg(work, 0, count))
+    finally:
+        release_staging(comm.ctx, work)
 
 
 def scatterv_linear(comm, sendbuf, counts, displs, recvbuf, dt: Datatype,

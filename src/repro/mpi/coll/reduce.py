@@ -10,7 +10,9 @@ from __future__ import annotations
 from repro.mpi.coll._util import (
     arr_of, chunk_bounds, is_inplace, materialize_input, seg,
 )
-from repro.mpi.compute import alloc_like, apply_reduce, local_copy
+from repro.mpi.compute import (
+    acquire_staging, apply_reduce, local_copy, release_staging,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
@@ -22,32 +24,42 @@ def reduce_binomial(comm, sendbuf, recvbuf, count: int, dt: Datatype,
     rank, p = comm.rank, comm.size
     tag = comm.next_coll_tag()
     # accumulate into recvbuf at root, into scratch elsewhere
+    scratch_acc = None
     if rank == root:
         acc = recvbuf
         materialize_input(comm, sendbuf, recvbuf, count)
     else:
-        acc = alloc_like(comm.ctx, sendbuf if not is_inplace(sendbuf) else recvbuf,
-                         count, dt.storage)
+        acc = scratch_acc = acquire_staging(
+            comm.ctx, sendbuf if not is_inplace(sendbuf) else recvbuf,
+            count, dt.storage)
         src = recvbuf if is_inplace(sendbuf) else sendbuf
         local_copy(comm.ctx, seg(acc, 0, count), seg(src, 0, count))
     if p == 1:
+        if scratch_acc is not None:
+            release_staging(comm.ctx, scratch_acc)
         return
-    tmp = alloc_like(comm.ctx, acc, count, dt.storage)
-    rel = (rank - root) % p
-    mask = 1
-    while mask < p:
-        if rel & mask:
-            dst = (rel - mask + root) % p
-            comm.Send(seg(acc, 0, count), dst, tag, count=count, datatype=dt)
-            break
-        partner = rel | mask
-        if partner < p:
-            src_rank = (partner + root) % p
-            comm.Recv(seg(tmp, 0, count), source=src_rank, tag=tag,
-                      count=count, datatype=dt)
-            apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count),
-                         seg(tmp, 0, count))
-        mask <<= 1
+    tmp = acquire_staging(comm.ctx, acc, count, dt.storage)
+    try:
+        rel = (rank - root) % p
+        mask = 1
+        while mask < p:
+            if rel & mask:
+                dst = (rel - mask + root) % p
+                comm.Send(seg(acc, 0, count), dst, tag, count=count,
+                          datatype=dt)
+                break
+            partner = rel | mask
+            if partner < p:
+                src_rank = (partner + root) % p
+                comm.Recv(seg(tmp, 0, count), source=src_rank, tag=tag,
+                          count=count, datatype=dt)
+                apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count),
+                             seg(tmp, 0, count))
+            mask <<= 1
+    finally:
+        release_staging(comm.ctx, tmp)
+        if scratch_acc is not None:
+            release_staging(comm.ctx, scratch_acc)
 
 
 def reduce_linear(comm, sendbuf, recvbuf, count: int, dt: Datatype,
@@ -60,23 +72,28 @@ def reduce_linear(comm, sendbuf, recvbuf, count: int, dt: Datatype,
     if rank != root:
         comm.Send(seg(contrib, 0, count), root, tag, count=count, datatype=dt)
         return
-    acc = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-    tmp = alloc_like(comm.ctx, recvbuf, count, dt.storage)
-    # reduce in rank order 0..p-1
-    first = True
-    for r in range(p):
-        if r == rank:
-            chunk = seg(contrib, 0, count)
-        else:
-            comm.Recv(seg(tmp, 0, count), source=r, tag=tag,
-                      count=count, datatype=dt)
-            chunk = seg(tmp, 0, count)
-        if first:
-            local_copy(comm.ctx, seg(acc, 0, count), chunk)
-            first = False
-        else:
-            apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count), chunk)
-    local_copy(comm.ctx, seg(recvbuf, 0, count), seg(acc, 0, count))
+    acc = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+    tmp = acquire_staging(comm.ctx, recvbuf, count, dt.storage)
+    try:
+        # reduce in rank order 0..p-1
+        first = True
+        for r in range(p):
+            if r == rank:
+                chunk = seg(contrib, 0, count)
+            else:
+                comm.Recv(seg(tmp, 0, count), source=r, tag=tag,
+                          count=count, datatype=dt)
+                chunk = seg(tmp, 0, count)
+            if first:
+                local_copy(comm.ctx, seg(acc, 0, count), chunk)
+                first = False
+            else:
+                apply_reduce(comm.ctx, comm.config, op, seg(acc, 0, count),
+                             chunk)
+        local_copy(comm.ctx, seg(recvbuf, 0, count), seg(acc, 0, count))
+    finally:
+        release_staging(comm.ctx, tmp)
+        release_staging(comm.ctx, acc)
 
 
 def reduce_scatter_gather(comm, sendbuf, recvbuf, count: int, dt: Datatype,
@@ -95,26 +112,29 @@ def reduce_scatter_gather(comm, sendbuf, recvbuf, count: int, dt: Datatype,
     tag = comm.next_coll_tag()
     bounds = chunk_bounds(count, p)
     contrib = recvbuf if is_inplace(sendbuf) else sendbuf
-    work = alloc_like(comm.ctx, contrib, count, dt.storage)
-    local_copy(comm.ctx, seg(work, 0, count), seg(contrib, 0, count))
-    reduce_scatter_pairwise_ranges(comm, work, bounds, dt, op, tag)
-    # gather: every rank owns reduced chunk `rank`; send to root
-    my_off, my_size = bounds[rank]
-    if rank == root:
-        if not is_inplace(sendbuf) or True:
-            local_copy(comm.ctx, seg(recvbuf, my_off, my_size),
-                       seg(work, my_off, my_size))
-        for r in range(p):
-            if r == root:
-                continue
-            off, size = bounds[r]
-            if size:
-                comm.Recv(seg(recvbuf, off, size), source=r, tag=tag + 1,
-                          count=size, datatype=dt)
-    else:
-        if my_size:
-            comm.Send(seg(work, my_off, my_size), root, tag + 1,
-                      count=my_size, datatype=dt)
+    work = acquire_staging(comm.ctx, contrib, count, dt.storage)
+    try:
+        local_copy(comm.ctx, seg(work, 0, count), seg(contrib, 0, count))
+        reduce_scatter_pairwise_ranges(comm, work, bounds, dt, op, tag)
+        # gather: every rank owns reduced chunk `rank`; send to root
+        my_off, my_size = bounds[rank]
+        if rank == root:
+            if not is_inplace(sendbuf) or True:
+                local_copy(comm.ctx, seg(recvbuf, my_off, my_size),
+                           seg(work, my_off, my_size))
+            for r in range(p):
+                if r == root:
+                    continue
+                off, size = bounds[r]
+                if size:
+                    comm.Recv(seg(recvbuf, off, size), source=r, tag=tag + 1,
+                              count=size, datatype=dt)
         else:
-            pass
-        # ranks with empty chunks still must not desync tags: nothing to do
+            if my_size:
+                comm.Send(seg(work, my_off, my_size), root, tag + 1,
+                          count=my_size, datatype=dt)
+            else:
+                pass
+            # ranks with empty chunks still must not desync tags
+    finally:
+        release_staging(comm.ctx, work)

@@ -10,7 +10,9 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.mpi.coll._util import chunk_bounds, is_inplace, seg
-from repro.mpi.compute import alloc_like, apply_reduce, local_copy
+from repro.mpi.compute import (
+    acquire_staging, apply_reduce, local_copy, release_staging,
+)
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 
@@ -25,19 +27,22 @@ def reduce_scatter_pairwise_ranges(comm, work, bounds: List[Tuple[int, int]],
     """
     rank, p = comm.rank, comm.size
     my_off, my_size = bounds[rank]
-    tmp = alloc_like(comm.ctx, work, max(size for _, size in bounds) or 1,
-                     dt.storage)
-    for step in range(1, p):
-        dst = (rank + step) % p
-        src = (rank - step) % p
-        doff, dsize = bounds[dst]
-        if dsize or my_size:
-            comm.Sendrecv(seg(work, doff, dsize), dst,
-                          seg(tmp, 0, my_size), src,
-                          sendtag=tag, datatype=dt)
-        if my_size:
-            apply_reduce(comm.ctx, comm.config, op,
-                         seg(work, my_off, my_size), seg(tmp, 0, my_size))
+    tmp = acquire_staging(comm.ctx, work, max(size for _, size in bounds) or 1,
+                          dt.storage)
+    try:
+        for step in range(1, p):
+            dst = (rank + step) % p
+            src = (rank - step) % p
+            doff, dsize = bounds[dst]
+            if dsize or my_size:
+                comm.Sendrecv(seg(work, doff, dsize), dst,
+                              seg(tmp, 0, my_size), src,
+                              sendtag=tag, datatype=dt)
+            if my_size:
+                apply_reduce(comm.ctx, comm.config, op,
+                             seg(work, my_off, my_size), seg(tmp, 0, my_size))
+    finally:
+        release_staging(comm.ctx, tmp)
 
 
 def reduce_scatter_recursive_halving(comm, sendbuf, recvbuf, count: int,
@@ -48,39 +53,45 @@ def reduce_scatter_recursive_halving(comm, sendbuf, recvbuf, count: int,
     total = count * p
     tag = comm.next_coll_tag()
     contrib = recvbuf if is_inplace(sendbuf) else sendbuf
-    work = alloc_like(comm.ctx, contrib, total, dt.storage)
-    if is_inplace(sendbuf):
-        # in-place reduce_scatter_block input is only `count` long;
-        # in-place only makes sense when recvbuf holds the full vector
-        local_copy(comm.ctx, seg(work, 0, total), seg(recvbuf, 0, total))
-    else:
-        local_copy(comm.ctx, seg(work, 0, total), seg(sendbuf, 0, total))
-    tmp = alloc_like(comm.ctx, work, total // 2 if p > 1 else 1, dt.storage)
-
-    lo, hi = 0, p
-    step = p // 2
-    while step >= 1:
-        mid = lo + step
-        half = step * count
-        if rank < mid:
-            partner = rank + step
-            # keep [lo, mid): send partner's half, receive mine
-            comm.Sendrecv(seg(work, mid * count, half), partner,
-                          seg(tmp, 0, half), partner,
-                          sendtag=tag, datatype=dt)
-            apply_reduce(comm.ctx, comm.config, op,
-                         seg(work, lo * count, half), seg(tmp, 0, half))
-            hi = mid
+    work = acquire_staging(comm.ctx, contrib, total, dt.storage)
+    tmp = acquire_staging(comm.ctx, work, total // 2 if p > 1 else 1,
+                          dt.storage)
+    try:
+        if is_inplace(sendbuf):
+            # in-place reduce_scatter_block input is only `count` long;
+            # in-place only makes sense when recvbuf holds the full vector
+            local_copy(comm.ctx, seg(work, 0, total), seg(recvbuf, 0, total))
         else:
-            partner = rank - step
-            comm.Sendrecv(seg(work, lo * count, half), partner,
-                          seg(tmp, 0, half), partner,
-                          sendtag=tag, datatype=dt)
-            apply_reduce(comm.ctx, comm.config, op,
-                         seg(work, mid * count, half), seg(tmp, 0, half))
-            lo = mid
-        step //= 2
-    local_copy(comm.ctx, seg(recvbuf, 0, count), seg(work, rank * count, count))
+            local_copy(comm.ctx, seg(work, 0, total), seg(sendbuf, 0, total))
+
+        lo, hi = 0, p
+        step = p // 2
+        while step >= 1:
+            mid = lo + step
+            half = step * count
+            if rank < mid:
+                partner = rank + step
+                # keep [lo, mid): send partner's half, receive mine
+                comm.Sendrecv(seg(work, mid * count, half), partner,
+                              seg(tmp, 0, half), partner,
+                              sendtag=tag, datatype=dt)
+                apply_reduce(comm.ctx, comm.config, op,
+                             seg(work, lo * count, half), seg(tmp, 0, half))
+                hi = mid
+            else:
+                partner = rank - step
+                comm.Sendrecv(seg(work, lo * count, half), partner,
+                              seg(tmp, 0, half), partner,
+                              sendtag=tag, datatype=dt)
+                apply_reduce(comm.ctx, comm.config, op,
+                             seg(work, mid * count, half), seg(tmp, 0, half))
+                lo = mid
+            step //= 2
+        local_copy(comm.ctx, seg(recvbuf, 0, count),
+                   seg(work, rank * count, count))
+    finally:
+        release_staging(comm.ctx, tmp)
+        release_staging(comm.ctx, work)
 
 
 def reduce_scatter_pairwise(comm, sendbuf, recvbuf, count: int,
@@ -91,10 +102,14 @@ def reduce_scatter_pairwise(comm, sendbuf, recvbuf, count: int,
     total = count * p
     tag = comm.next_coll_tag()
     contrib = recvbuf if is_inplace(sendbuf) else sendbuf
-    work = alloc_like(comm.ctx, contrib, total, dt.storage)
-    local_copy(comm.ctx, seg(work, 0, total),
-               seg(contrib, 0, total))
-    bounds = chunk_bounds(total, p) if count * p != total else \
-        [(r * count, count) for r in range(p)]
-    reduce_scatter_pairwise_ranges(comm, work, bounds, dt, op, tag)
-    local_copy(comm.ctx, seg(recvbuf, 0, count), seg(work, rank * count, count))
+    work = acquire_staging(comm.ctx, contrib, total, dt.storage)
+    try:
+        local_copy(comm.ctx, seg(work, 0, total),
+                   seg(contrib, 0, total))
+        bounds = chunk_bounds(total, p) if count * p != total else \
+            [(r * count, count) for r in range(p)]
+        reduce_scatter_pairwise_ranges(comm, work, bounds, dt, op, tag)
+        local_copy(comm.ctx, seg(recvbuf, 0, count),
+                   seg(work, rank * count, count))
+    finally:
+        release_staging(comm.ctx, work)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro import fastpath
 from repro.mpi.coll._util import is_pof2
 
 KIB = 1024
@@ -51,10 +52,32 @@ DEFAULT_TABLE: Dict[str, AlgorithmChoice] = {
 ALLTOALL_SCATTERED_MAX = 32 * KIB
 
 
+#: memoized (coll, nbytes, p, commutative) -> name for DEFAULT_TABLE.
+_SELECT_CACHE: Dict[Tuple, str] = {}
+
+
 def select(coll: str, nbytes: int, p: int, commutative: bool = True,
            table: Dict[str, AlgorithmChoice] = DEFAULT_TABLE) -> str:
     """Pick an algorithm name, honoring structural constraints
-    (power-of-two requirements, commutativity)."""
+    (power-of-two requirements, commutativity).
+
+    Selection is a pure function of its arguments; default-table
+    lookups are memoized (this runs on every MPI-routed collective).
+    """
+    if table is DEFAULT_TABLE and fastpath.plans_enabled():
+        key = (coll, nbytes, p, commutative)
+        name = _SELECT_CACHE.get(key)
+        if name is None:
+            if len(_SELECT_CACHE) > 1 << 16:
+                _SELECT_CACHE.clear()
+            name = _SELECT_CACHE[key] = _select(coll, nbytes, p, commutative,
+                                                table)
+        return name
+    return _select(coll, nbytes, p, commutative, table)
+
+
+def _select(coll: str, nbytes: int, p: int, commutative: bool,
+            table: Dict[str, AlgorithmChoice]) -> str:
     choice = table[coll]
     name = choice.pick(nbytes)
 

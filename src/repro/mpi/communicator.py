@@ -51,7 +51,8 @@ class Communicator:
         self.group: Tuple[int, ...] = tuple(group)
         self.ctx_id = ctx_id
         self.endpoint = P2PEndpoint(ctx, config, ctx_id)
-        self._rank = self.group.index(ctx.rank)
+        self._from_world = {w: i for i, w in enumerate(self.group)}
+        self._rank = self._from_world[ctx.rank]
         self._seq = itertools.count(1)
         self._freed = False
         from repro.mpi.coll import MPICollDispatcher  # local: avoid cycle
@@ -91,8 +92,24 @@ class Communicator:
                             f"{self.ctx_id}.s{seq}.{color}")
 
     def Free(self) -> None:
-        """Release the communicator (``MPI_Comm_free``)."""
+        """Release the communicator (``MPI_Comm_free``).
+
+        Also frees the cached hierarchical sub-communicators (see
+        :func:`repro.mpi.coll.hierarchical.node_comms`) and tells the
+        dispatcher to drop compiled plans / CCL state for this
+        communicator.
+        """
+        if self._freed:
+            return
         self._freed = True
+        hier = self.__dict__.pop("_hier_comms", None)
+        if hier is not None:
+            for sub in hier:
+                if sub is not None:
+                    sub.Free()
+        release = getattr(self.coll, "release", None)
+        if release is not None:
+            release(self)
 
     def _check_live(self) -> None:
         if self._freed:
@@ -180,7 +197,7 @@ class Communicator:
             status.count = instances
         else:
             status = self.endpoint.recv(buf, src_world, tag, count, datatype)
-        status.source = self.group.index(status.source)
+        status.source = self._from_world[status.source]
         return status
 
     def Isend(self, buf, dest: int, tag: int = 0,
@@ -233,7 +250,7 @@ class Communicator:
             sendbuf, self.world_rank(dest), recvbuf, self.world_rank(source),
             sendtag, recvtag if recvtag is not None else sendtag,
             datatype=datatype)
-        status.source = self.group.index(status.source)
+        status.source = self._from_world[status.source]
         return status
 
     def Iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
@@ -458,6 +475,117 @@ class Communicator:
         self.Barrier()
         return Request.completed(Status(), kind="ibarrier")
 
+    # -- persistent collectives (MPI 4.0 ``MPI_Allreduce_init`` style) -----------
+
+    def _warm_plan(self, coll: str, nbytes: int, dt, op, *buffers) -> None:
+        """Compile the routing plan at init time (when the dispatcher
+        supports planning), so ``Start`` replays a cache hit."""
+        decide = getattr(self.coll, "decide", None)
+        if decide is not None:
+            decide(self, coll, nbytes, dt, op, *buffers)
+
+    def _persistent_coll(self, coll: str, run) -> "PersistentCollRequest":
+        # the blocking run() completes synchronously, so every Start
+        # returns the same already-done request marker
+        done = Request.completed(Status(), kind=f"{coll}-init")
+
+        def factory() -> Request:
+            self._check_live()
+            run()
+            return done
+
+        return PersistentCollRequest(factory, coll)
+
+    def Allreduce_init(self, sendbuf, recvbuf, op: Op = SUM,
+                       count: Optional[int] = None,
+                       datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent allreduce: arguments resolved and the routing
+        plan compiled once; each ``Start`` replays it."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self._warm_plan("allreduce", count * dt.itemsize, dt, op,
+                        sendbuf, recvbuf)
+        return self._persistent_coll(
+            "allreduce",
+            lambda: self.coll.allreduce(self, sendbuf, recvbuf, count, dt, op))
+
+    def Bcast_init(self, buf, root: int = 0, count: Optional[int] = None,
+                   datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent broadcast."""
+        self._check_live()
+        count, dt = self._resolve(buf, buf, count, datatype)
+        self.world_rank(root)
+        self._warm_plan("bcast", count * dt.itemsize, dt, None, buf)
+        return self._persistent_coll(
+            "bcast", lambda: self.coll.bcast(self, buf, count, dt, root))
+
+    def Reduce_init(self, sendbuf, recvbuf, op: Op = SUM, root: int = 0,
+                    count: Optional[int] = None,
+                    datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent reduce."""
+        self._check_live()
+        count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
+        op.validate(dt)
+        self.world_rank(root)
+        bufs = (sendbuf, recvbuf) if self._rank == root else (sendbuf,)
+        self._warm_plan("reduce", count * dt.itemsize, dt, op, *bufs)
+        return self._persistent_coll(
+            "reduce",
+            lambda: self.coll.reduce(self, sendbuf, recvbuf, count, dt, op,
+                                     root))
+
+    def Allgather_init(self, sendbuf, recvbuf, count: Optional[int] = None,
+                       datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent allgather (``count`` per-rank contribution)."""
+        self._check_live()
+        if count is None:
+            ref = recvbuf if sendbuf is IN_PLACE else sendbuf
+            count = as_array(ref).size
+            if sendbuf is IN_PLACE:
+                count //= self.size
+        dt = datatype or datatype_of(recvbuf)
+        self._warm_plan("allgather", count * dt.itemsize, dt, None,
+                        sendbuf, recvbuf)
+        return self._persistent_coll(
+            "allgather",
+            lambda: self.coll.allgather(self, sendbuf, recvbuf, count, dt))
+
+    def Alltoall_init(self, sendbuf, recvbuf, count: Optional[int] = None,
+                      datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent alltoall (``count`` per-destination block)."""
+        self._check_live()
+        if count is None:
+            count = as_array(sendbuf).size // self.size
+        dt = datatype or datatype_of(sendbuf)
+        self._warm_plan("alltoall", count * dt.itemsize, dt, None,
+                        sendbuf, recvbuf)
+        return self._persistent_coll(
+            "alltoall",
+            lambda: self.coll.alltoall(self, sendbuf, recvbuf, count, dt))
+
+    def Reduce_scatter_block_init(self, sendbuf, recvbuf, op: Op = SUM,
+                                  count: Optional[int] = None,
+                                  datatype: Optional[Datatype] = None) -> "PersistentCollRequest":
+        """Persistent reduce_scatter_block (``count`` per-rank output)."""
+        self._check_live()
+        if count is None:
+            count = as_array(recvbuf).size
+        dt = datatype or datatype_of(recvbuf)
+        op.validate(dt)
+        self._warm_plan("reduce_scatter", count * dt.itemsize, dt, op,
+                        sendbuf, recvbuf)
+        return self._persistent_coll(
+            "reduce_scatter",
+            lambda: self.coll.reduce_scatter_block(self, sendbuf, recvbuf,
+                                                   count, dt, op))
+
+    def Barrier_init(self) -> "PersistentCollRequest":
+        """Persistent barrier."""
+        self._check_live()
+        return self._persistent_coll("barrier",
+                                     lambda: self.coll.barrier(self))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Communicator {self.ctx_id} rank {self._rank}/{self.size}>"
 
@@ -498,6 +626,23 @@ class PersistentRequest:
     def active(self) -> bool:
         """True while an iteration is started and incomplete."""
         return self._active is not None and not self._active.done
+
+
+class PersistentCollRequest(PersistentRequest):
+    """A persistent collective (``MPI_Allreduce_init`` family).
+
+    Arguments are resolved — and, with the fast path on, the routing
+    plan compiled — once at init; every ``Start`` replays the plan.
+    """
+
+    def __init__(self, factory, coll: str) -> None:
+        super().__init__(factory)
+        #: which collective this request replays (e.g. ``"allreduce"``)
+        self.coll = coll
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "active" if self.active else "idle"
+        return f"<PersistentCollRequest {self.coll} {state}>"
 
 
 def start_all(requests: Sequence["PersistentRequest"]) -> None:

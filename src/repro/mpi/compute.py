@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import fastpath
 from repro.hw.memory import Buffer, DeviceBuffer, as_array, is_device_buffer
 from repro.mpi.config import MPIConfig
 from repro.mpi.datatypes import Datatype
@@ -41,12 +42,13 @@ def apply_reduce(ctx: RankContext, config: MPIConfig, op: Op,
     """
     a = as_array(acc)
     b = as_array(operand)
-    a[...] = op(a, b)
+    op.reduce_into(a, b)
     if charge:
         on_dev = is_device_buffer(acc) or is_device_buffer(operand)
         ctx.clock.advance(reduce_time_us(ctx, config, int(a.nbytes), on_dev))
-        ctx.trace.record("kernel", ctx.now, ctx.now, nbytes=int(a.nbytes),
-                         label=f"reduce:{op.name}")
+        if ctx.trace.enabled:
+            ctx.trace.record("kernel", ctx.now, ctx.now, nbytes=int(a.nbytes),
+                             label=f"reduce:{op.name}")
 
 
 def copy_time_us(ctx: RankContext, nbytes: int, on_device: bool) -> float:
@@ -77,3 +79,38 @@ def alloc_like(ctx: RankContext, ref, count: int, dtype=None):
     if is_device_buffer(ref):
         return ctx.device.empty(count, dtype=dtype)
     return np.empty(count, dtype=dtype)
+
+
+def acquire_staging(ctx: RankContext, ref, count: int, dtype=None):
+    """Scratch buffer like :func:`alloc_like`, drawn from the rank's
+    staging pool when the fast path is enabled.
+
+    Contents are undefined (like ``np.empty``); pair with
+    :func:`release_staging` in a try/finally.  Allocation charges no
+    virtual time either way, so pooling is invisible to the clock.
+    """
+    if not fastpath.plans_enabled():
+        return alloc_like(ctx, ref, count, dtype)
+    if ctx.staging_pool is None:
+        from repro.core.plan import BufferPool
+        ctx.staging_pool = BufferPool()
+    dtype = dtype if dtype is not None else as_array(ref).dtype
+    # np.dtype objects hash/compare like their .str form but cost no
+    # string build on this per-operation path
+    key = (is_device_buffer(ref), np.dtype(dtype), int(count))
+    buf = ctx.staging_pool.acquire(key)
+    return buf if buf is not None else alloc_like(ctx, ref, count, dtype)
+
+
+def release_staging(ctx: RankContext, buf) -> None:
+    """Return a staging buffer acquired with :func:`acquire_staging` to
+    the rank's pool (no-op when pooling is disabled).
+
+    The pool key is recomputed from the buffer itself — its residency,
+    dtype and element count are exactly what keyed the acquire.
+    """
+    if not fastpath.plans_enabled() or ctx.staging_pool is None:
+        return
+    a = as_array(buf)
+    key = (is_device_buffer(buf), a.dtype, int(a.size))
+    ctx.staging_pool.release(key, buf)

@@ -51,6 +51,17 @@ class Op:
         """Apply the reduction (returns the reduced array)."""
         return self.fn(acc, operand)
 
+    def reduce_into(self, acc: np.ndarray, operand: np.ndarray) -> None:
+        """``acc[...] = fn(acc, operand)``, writing through ``out=``
+        when the reducer is a raw ufunc over matching dtypes (bitwise
+        identical to the copy, without the intermediate array).
+        Logical-wrapped and user-defined reducers keep copy semantics —
+        their output dtype is not guaranteed to match ``acc``'s."""
+        if isinstance(self.fn, np.ufunc) and acc.dtype == operand.dtype:
+            self.fn(acc, operand, out=acc)
+        else:
+            acc[...] = self.fn(acc, operand)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import fastpath
 from repro.errors import MPIRankError, MPITruncateError
 from repro.hw.cluster import PathScope
 from repro.hw.memory import Buffer, as_array, is_device_buffer
@@ -54,11 +55,25 @@ class P2PEndpoint:
         self.ctx = ctx
         self.config = config
         self.ctx_id = ctx_id
+        #: compiled path pricing per (peer, device, bidir) — topology
+        #: and config are immutable, so the graph walk is done once.
+        self._path_cache: dict = {}
 
     # -- path pricing -----------------------------------------------------
 
     def _path_for(self, peer_world: int, device_involved: bool,
                   bidir: bool = False):
+        if fastpath.plans_enabled():
+            key = (peer_world, device_involved, bidir)
+            cached = self._path_cache.get(key)
+            if cached is None:
+                cached = self._path_cache[key] = \
+                    self._path_for_uncached(peer_world, device_involved, bidir)
+            return cached
+        return self._path_for_uncached(peer_world, device_involved, bidir)
+
+    def _path_for_uncached(self, peer_world: int, device_involved: bool,
+                           bidir: bool = False):
         cluster = self.ctx.cluster
         src, dst = self.ctx.device, self.ctx.device_of(peer_world)
         path = cluster.path(src, dst)
@@ -75,7 +90,8 @@ class P2PEndpoint:
             beta = path.bottleneck.effective_beta(beta)
         if bidir and path.bottleneck.duplex_factor < 2.0:
             beta *= path.bottleneck.duplex_factor / 2.0
-        return path, resources, alpha, beta
+        return (path, resources, alpha, beta,
+                self.config.eager_threshold(path.scope))
 
     def _ctrl_latency(self, alpha: float) -> float:
         """One-way latency of a tiny control message."""
@@ -100,6 +116,17 @@ class P2PEndpoint:
         directions over the same link (``Sendrecv`` with the same
         partner); it prices the transfer at the duplex-shared rate.
         """
+        status, req = self._send_impl(buf, dst_world, tag, count, datatype,
+                                      bidir)
+        if req is None:  # eager: completed locally
+            return Request.completed(status, kind="send")
+        return req
+
+    def _send_impl(self, buf, dst_world: int, tag: int, count: Optional[int],
+                   datatype: Optional[Datatype],
+                   bidir: bool) -> Tuple[Status, Optional[Request]]:
+        """Post a send; returns ``(status, None)`` for an eager send
+        (complete already) or ``(status, request)`` for rendezvous."""
         ctx, cfg = self.ctx, self.config
         if not 0 <= dst_world < ctx.size:
             raise MPIRankError(f"send to invalid world rank {dst_world}")
@@ -114,29 +141,34 @@ class P2PEndpoint:
         if device and not cfg.gpu_direct:
             self._stage_to_host(nbytes)
         t0 = ctx.clock.advance(cfg.send_overhead_us)
-        path, resources, alpha, beta = self._path_for(
+        path, resources, alpha, beta, eager_max = self._path_for(
             dst_world, device and cfg.gpu_direct, bidir=bidir)
         seq = next(_seq)
-        eager = nbytes <= cfg.eager_threshold(path.scope)
-        kind = _KIND_EAGER if eager else _KIND_RTS
+        eager = nbytes <= eager_max
         if eager:
             arrival = ctx.engine.wires.book(resources, t0, nbytes, beta, alpha,
                                             path.bottleneck.duplex_factor)
+            # eager receives never re-price the wire, so skip the
+            # rendezvous-only pricing keys
+            meta = {"kind": _KIND_EAGER, "ctx_id": self.ctx_id, "seq": seq,
+                    "device": device, "dtname": dt.name}
         else:
             arrival = t0 + self._ctrl_latency(alpha)  # RTS control latency
+            meta = {"kind": _KIND_RTS, "ctx_id": self.ctx_id, "seq": seq,
+                    "device": device, "dtname": dt.name,
+                    "resources": resources, "beta": beta, "alpha": alpha,
+                    "duplex": path.bottleneck.duplex_factor}
         msg = Message(src=ctx.rank, dst=dst_world, tag=tag, data=snapshot,
                       depart_us=t0, arrival_us=arrival, nbytes=nbytes,
-                      meta={"kind": kind, "ctx_id": self.ctx_id, "seq": seq,
-                            "device": device, "dtname": dt.name,
-                            "resources": resources, "beta": beta,
-                            "alpha": alpha,
-                            "duplex": path.bottleneck.duplex_factor})
+                      meta=meta)
         ctx.mailbox_of(dst_world).post(msg)
-        ctx.trace.record("send", t0 - cfg.send_overhead_us, t0,
-                         peer=dst_world, nbytes=nbytes, label=kind)
+        if ctx.trace.enabled:
+            ctx.trace.record("send", t0 - cfg.send_overhead_us, t0,
+                             peer=dst_world, nbytes=nbytes,
+                             label=meta["kind"])
         status = Status(source=ctx.rank, tag=tag, count=count, nbytes=nbytes)
         if eager:
-            return Request.completed(status, kind="send")
+            return status, None
 
         def complete(blocking: bool) -> Optional[Status]:
             def match_cts(m: Message) -> bool:
@@ -151,7 +183,7 @@ class P2PEndpoint:
             ctx.clock.merge(cts.arrival_us)
             return status
 
-        return Request(complete, kind="send")
+        return status, Request(complete, kind="send")
 
     def send(self, buf, dst_world: int, tag: int, count: Optional[int] = None,
              datatype: Optional[Datatype] = None) -> Status:
@@ -208,8 +240,9 @@ class P2PEndpoint:
             target[...] = msg.data
         else:
             target[...] = msg.data.astype(target.dtype)
-        ctx.trace.record("recv", msg.depart_us, ctx.now, peer=msg.src,
-                         nbytes=msg.nbytes, label=msg.meta["kind"])
+        if ctx.trace.enabled:
+            ctx.trace.record("recv", msg.depart_us, ctx.now, peer=msg.src,
+                             nbytes=msg.nbytes, label=msg.meta["kind"])
         return Status(source=msg.src, tag=msg.tag, count=recv_count,
                       nbytes=msg.nbytes)
 
@@ -252,9 +285,12 @@ class P2PEndpoint:
         """Combined send+receive (deadlock-free exchange primitive used
         by ring/pairwise algorithms)."""
         bidir = dst_world == src_world  # symmetric partner exchange
-        sreq = self.isend(sendbuf, dst_world, sendtag, sendcount, datatype,
-                          bidir=bidir)
-        rreq = self.irecv(recvbuf, src_world, recvtag, recvcount, datatype)
-        status = rreq.wait()
-        sreq.wait()
+        _, sreq = self._send_impl(sendbuf, dst_world, sendtag, sendcount,
+                                  datatype, bidir)
+        # inline irecv+wait: the blocking match needs no Request shell
+        msg = self._match_incoming(src_world, recvtag, blocking=True)
+        assert msg is not None
+        status = self._finish_recv(msg, recvbuf, recvcount, datatype)
+        if sreq is not None:  # rendezvous send still outstanding
+            sreq.wait()
         return status

@@ -63,6 +63,13 @@ def osu_allreduce(ctx: RankContext, stack,
         if _is_pure(stack):
             return lambda: stack.allreduce(send.view(0, count),
                                            recv.view(0, count), count)
+        if hasattr(stack, "Allreduce_init"):
+            # persistent collective: resolve + plan once per size,
+            # replay per iteration (mpi4py-style MPI 4.0 API)
+            req = stack.Allreduce_init(send.view(0, count),
+                                       recv.view(0, count), SUM,
+                                       count=count, datatype=FLOAT)
+            return lambda: req.Start().wait()
         return lambda: stack.Allreduce(send.view(0, count),
                                        recv.view(0, count), SUM,
                                        count=count, datatype=FLOAT)
@@ -120,6 +127,11 @@ def osu_alltoall(ctx: RankContext, stack,
         if _is_pure(stack):
             return lambda: stack.alltoall(send.view(0, count * p),
                                           recv.view(0, count * p), count)
+        if hasattr(stack, "Alltoall_init"):
+            req = stack.Alltoall_init(send.view(0, count * p),
+                                      recv.view(0, count * p),
+                                      count=count, datatype=FLOAT)
+            return lambda: req.Start().wait()
         return lambda: stack.Alltoall(send.view(0, count * p),
                                       recv.view(0, count * p),
                                       count=count, datatype=FLOAT)

@@ -15,12 +15,46 @@ All sizes are wire bytes; all returns are microseconds.
 
 from __future__ import annotations
 
+import functools
 import math
 
+from repro import fastpath
 from repro.errors import ConfigError
 from repro.hw.cluster import PathScope, TransferPath
 from repro.perfmodel.params import CCLParams
 from repro.perfmodel.shape import CommShape
+
+
+def _memoized(fn):
+    """Memoize a closed-form collective model.
+
+    The models are pure in (params, shape, nbytes) — both dataclasses
+    are frozen/hashable — except MSCCL, whose result also depends on
+    the mutable program registry; its registry version joins the key so
+    runtime ``load()`` calls invalidate stale entries.  The cache is
+    bypassed entirely when the fast path is disabled.
+    """
+    cache = {}
+
+    @functools.wraps(fn)
+    def wrapper(params: CCLParams, shape: CommShape, nbytes: int) -> float:
+        if not fastpath.plans_enabled():
+            return fn(params, shape, nbytes)
+        if params.name == "msccl":
+            from repro.xccl.msccl_programs import default_registry
+            key = (params, shape, nbytes, default_registry().version)
+        else:
+            key = (params, shape, nbytes)
+        try:
+            return cache[key]
+        except KeyError:
+            if len(cache) > 1 << 16:
+                cache.clear()
+            t = cache[key] = fn(params, shape, nbytes)
+            return t
+
+    wrapper.__wrapped__ = fn
+    return wrapper
 
 
 def _launch(params: CCLParams, shape: CommShape) -> float:
@@ -110,6 +144,7 @@ def p2p_bandwidth_beta(params: CCLParams, path: TransferPath) -> float:
 # built-in collectives (§3.2): the five the CCL APIs provide
 # ---------------------------------------------------------------------------
 
+@_memoized
 def allreduce_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """AllReduce: double binary tree below the threshold, ring above."""
     p = shape.p
@@ -126,6 +161,7 @@ def allreduce_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     return _msccl(params, shape, "allreduce", nbytes, t)
 
 
+@_memoized
 def bcast_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """Broadcast: tree small, pipelined ring large."""
     p = shape.p
@@ -142,11 +178,13 @@ def bcast_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     return _msccl(params, shape, "bcast", nbytes, t)
 
 
+@_memoized
 def reduce_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """Reduce: broadcast shape plus the reduction compute stream."""
     return bcast_time(params, shape, nbytes) * 1.12
 
 
+@_memoized
 def allgather_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """AllGather of ``nbytes`` per rank: ring, ``(p-1)`` hops."""
     p = shape.p
@@ -160,11 +198,13 @@ def allgather_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     return _msccl(params, shape, "allgather", nbytes, t)
 
 
+@_memoized
 def reduce_scatter_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """ReduceScatter producing ``nbytes`` per rank (ring)."""
     return allgather_time(params, shape, nbytes) * 1.08
 
 
+@_memoized
 def alltoall_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """Grouped send/recv alltoall: ``nbytes`` to each of ``p-1`` peers.
 
@@ -187,6 +227,7 @@ def alltoall_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     return _msccl(params, shape, "alltoall", nbytes, t)
 
 
+@_memoized
 def gather_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """Grouped send/recv gather: the root's ingress serializes
     ``(p-1)`` blocks of ``nbytes``."""
@@ -205,6 +246,7 @@ def gather_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     return _msccl(params, shape, "gather", nbytes, t)
 
 
+@_memoized
 def scatter_time(params: CCLParams, shape: CommShape, nbytes: int) -> float:
     """Grouped send/recv scatter (egress mirror of gather)."""
     return gather_time(params, shape, nbytes)

@@ -11,8 +11,10 @@ All sizes are wire bytes; returns are microseconds per operation.
 
 from __future__ import annotations
 
+import functools
 import math
 
+from repro import fastpath
 from repro.errors import ConfigError
 from repro.hw.cluster import PathScope
 from repro.mpi.coll import tuning
@@ -20,6 +22,29 @@ from repro.mpi.config import MPIConfig
 from repro.perfmodel.shape import CommShape
 
 HOST_REDUCE_THRESHOLD = 8192  # keep in sync with repro.mpi.compute
+
+
+def _memoized(fn):
+    """Memoize one analytic MPI model: pure in its (hashable frozen
+    dataclass) arguments; bypassed when the fast path is disabled."""
+    cache = {}
+
+    @functools.wraps(fn)
+    def wrapper(config: MPIConfig, shape: CommShape, nbytes: int,
+                algorithm: str = "") -> float:
+        if not fastpath.plans_enabled():
+            return fn(config, shape, nbytes, algorithm)
+        key = (config, shape, nbytes, algorithm)
+        try:
+            return cache[key]
+        except KeyError:
+            if len(cache) > 1 << 16:
+                cache.clear()
+            t = cache[key] = fn(config, shape, nbytes, algorithm)
+            return t
+
+    wrapper.__wrapped__ = fn
+    return wrapper
 
 
 def _log2ceil(x: int) -> int:
@@ -73,6 +98,7 @@ def reduce_compute(config: MPIConfig, shape: CommShape, nbytes: int,
 # collectives
 # ---------------------------------------------------------------------------
 
+@_memoized
 def allreduce_time(config: MPIConfig, shape: CommShape, nbytes: int,
                    algorithm: str = "") -> float:
     """MPI allreduce (per the internal tuning table unless pinned)."""
@@ -100,6 +126,7 @@ def allreduce_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return t
 
 
+@_memoized
 def bcast_time(config: MPIConfig, shape: CommShape, nbytes: int,
                algorithm: str = "") -> float:
     """MPI broadcast."""
@@ -120,6 +147,7 @@ def bcast_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return scatter + allgather
 
 
+@_memoized
 def reduce_time(config: MPIConfig, shape: CommShape, nbytes: int,
                 algorithm: str = "") -> float:
     """MPI reduce."""
@@ -148,6 +176,7 @@ def reduce_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return rs + gather
 
 
+@_memoized
 def allgather_time(config: MPIConfig, shape: CommShape, nbytes: int,
                    algorithm: str = "") -> float:
     """MPI allgather of ``nbytes`` per rank."""
@@ -171,6 +200,7 @@ def allgather_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return _round_cost(config, shape, nbytes, steps - inter_steps, inter_steps)
 
 
+@_memoized
 def alltoall_time(config: MPIConfig, shape: CommShape, nbytes: int,
                   algorithm: str = "") -> float:
     """MPI alltoall, ``nbytes`` per destination."""
@@ -204,6 +234,7 @@ def alltoall_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return t
 
 
+@_memoized
 def reduce_scatter_time(config: MPIConfig, shape: CommShape, nbytes: int,
                         algorithm: str = "") -> float:
     """MPI reduce_scatter_block producing ``nbytes`` per rank."""
@@ -217,6 +248,7 @@ def reduce_scatter_time(config: MPIConfig, shape: CommShape, nbytes: int,
     return t
 
 
+@_memoized
 def gather_time(config: MPIConfig, shape: CommShape, nbytes: int,
                 algorithm: str = "") -> float:
     """MPI gather of ``nbytes`` per rank to one root."""
@@ -240,6 +272,7 @@ def gather_time(config: MPIConfig, shape: CommShape, nbytes: int,
                       + nbytes / beta) + link.alpha_us
 
 
+@_memoized
 def scatter_time(config: MPIConfig, shape: CommShape, nbytes: int,
                  algorithm: str = "") -> float:
     """MPI scatter (mirror of gather)."""

@@ -110,6 +110,9 @@ class RankContext:
         self.mailbox = engine.mailbox_of(rank)
         self.trace = Trace(rank, enabled=engine.trace_enabled)
         self._slot_uses: Dict[Any, int] = {}
+        #: lazily-built staging BufferPool (see repro.mpi.compute);
+        #: stays None until the fast path first needs scratch space.
+        self.staging_pool = None
 
     @property
     def cluster(self) -> Cluster:

@@ -276,7 +276,7 @@ class CCLBackend:
     def _reduce_all(op: Op, arrays: Dict[int, np.ndarray]) -> np.ndarray:
         acc = arrays[0].copy()
         for r in range(1, len(arrays)):
-            acc = op(acc, arrays[r])
+            op.reduce_into(acc, arrays[r])
         return acc
 
     def all_reduce(self, comm: XCCLComm, sendbuf, recvbuf, count: int,

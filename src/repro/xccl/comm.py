@@ -63,6 +63,9 @@ class XCCLComm:
         self._send_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
         self._recv_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
         self._shape: Optional[CommShape] = None
+        #: compiled chunk geometry (counts/displs tuples) reused by the
+        #: send-recv collectives when the plan fast path is on.
+        self.plan_geometry: Dict[Tuple, Tuple] = {}
         self.aborted = False
 
     @property

@@ -10,6 +10,7 @@ abstraction layer runs before routing an MPI call to a CCL.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Optional
 
 from repro.errors import CCLUnsupportedDatatype
@@ -57,27 +58,40 @@ SUPPORT_TABLES: Dict[str, FrozenSet[str]] = {
 }
 
 
+@lru_cache(maxsize=None)
+def support_table(backend_name: str) -> Optional[FrozenSet[str]]:
+    """The (case-normalized) support table for a backend, memoized —
+    repeated lookups return the identical frozenset object."""
+    return SUPPORT_TABLES.get(backend_name.lower())
+
+
 def ccl_dtype_name(dt: Datatype) -> Optional[str]:
     """The xccl datatype name for an MPI datatype, or None when no CCL
     can represent it (complex, bool, 16-bit ints)."""
     return _CCL_NAMES.get(dt.name)
 
 
-def backend_supports(backend_name: str, dt: Datatype) -> bool:
-    """Whether ``backend_name`` implements MPI datatype ``dt``."""
-    ccl_name = ccl_dtype_name(dt)
+@lru_cache(maxsize=1024)
+def _supports(backend_name: str, dt_name: str) -> bool:
+    ccl_name = _CCL_NAMES.get(dt_name)
     if ccl_name is None:
         return False
-    table = SUPPORT_TABLES.get(backend_name.lower())
+    table = support_table(backend_name)
     return table is not None and ccl_name in table
+
+
+def backend_supports(backend_name: str, dt: Datatype) -> bool:
+    """Whether ``backend_name`` implements MPI datatype ``dt``
+    (memoized: this runs on every routed collective call)."""
+    return _supports(backend_name, dt.name)
 
 
 def require_support(backend_name: str, dt: Datatype) -> str:
     """The xccl datatype name, or raise :class:`CCLUnsupportedDatatype`
     — the conversion step of Listing 1 line 2."""
-    if not backend_supports(backend_name, dt):
+    if not _supports(backend_name, dt.name):
         raise CCLUnsupportedDatatype(
             f"{backend_name} has no datatype for {dt.name}")
-    name = ccl_dtype_name(dt)
+    name = _CCL_NAMES[dt.name]
     assert name is not None
     return name

@@ -70,6 +70,7 @@ class TestQuickRuns:
         results = run_experiment("fig10", scale="quick")
         assert "Pure MSCCL" in results.series_names()
 
+    @pytest.mark.slow
     def test_fig9_quick_overhead_small(self):
         results = run_experiment("fig9", scale="quick")
         x = results.filter(lambda r: r.series == "Proposed Hybrid xCCL"
