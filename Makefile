@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-quick bench-hotpath report examples tune clean
+.PHONY: install test test-all bench bench-quick bench-hotpath bench-fusion report examples tune clean
 
 install:
 	pip install -e .
@@ -25,6 +25,9 @@ bench-quick:
 
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
+
+bench-fusion:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_group_fusion.py
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

@@ -1,0 +1,186 @@
+"""Group-fusion microbenchmark: fused group transport on vs off.
+
+Measures *wall-clock* throughput (engine-driven operations per second,
+not virtual time) of tight send-recv-collective loops with group fusion
+disabled ("before", one mailbox round trip per message) and enabled
+("after", one bulk exchange per peer and one engine rendezvous per
+group).  Payload results are asserted bit-identical either way, and at
+single-node scale the virtual clocks are too — the fused transport may
+only change how fast the simulator runs, never what it computes.
+(Multi-node runs race on the shared fabric wires, so virtual times are
+not run-to-run comparable there and only payloads are checked.)
+
+Run with ``make bench-fusion`` or::
+
+    PYTHONPATH=src python benchmarks/bench_group_fusion.py
+
+Writes ``BENCH_group_fusion.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+ITERS = 40
+COUNT = 64           # base floats per block: small enough that per-call
+                     # Python overhead dominates, like OMB latency runs
+RANKS_PER_NODE = 8   # thetagpu: 8 A100s per node
+SCALES = (            # (nodes, ranks); virtual times are only exactly
+    (1, 8),           # reproducible single-node (per-pair intra wires)
+    (2, 16),
+)
+
+
+def _alltoallv_body(mpx):
+    import numpy as np
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    p, r = comm.size, comm.rank
+    sc = [(r + j) % 3 + 1 for j in range(p)]       # uneven, 1..3 blocks
+    rc = [(i + r) % 3 + 1 for i in range(p)]
+    sd = [sum(sc[:j]) for j in range(p)]
+    rd = [sum(rc[:j]) for j in range(p)]
+    send = ctx.device.zeros(sum(sc) * COUNT, dtype=np.float32)
+    recv = ctx.device.zeros(sum(rc) * COUNT, dtype=np.float32)
+    send.array[:] = r + 1
+    scnt = [c * COUNT for c in sc]
+    rcnt = [c * COUNT for c in rc]
+    sdis = [d * COUNT for d in sd]
+    rdis = [d * COUNT for d in rd]
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Alltoallv(send, scnt, recv, rcnt, sdis, rdis)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _allgatherv_body(mpx):
+    import numpy as np
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    p, r = comm.size, comm.rank
+    counts = [(i % 3 + 1) * COUNT for i in range(p)]
+    displs = [sum(counts[:j]) for j in range(p)]
+    send = ctx.device.zeros(counts[r], dtype=np.float32)
+    recv = ctx.device.zeros(sum(counts), dtype=np.float32)
+    send.array[:] = r + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Allgatherv(send, recv, counts, displs)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _gather_body(mpx):
+    import numpy as np
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    p, r = comm.size, comm.rank
+    send = ctx.device.zeros(COUNT, dtype=np.float32)
+    recv = ctx.device.zeros(COUNT * p, dtype=np.float32)
+    send.array[:] = r + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Gather(send, recv, root=0, count=COUNT)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+REPEATS = 5
+
+
+def _run_once(body, nodes, nranks):
+    """One engine run; returns (ops/sec of the iteration loop alone,
+    per-rank (payload, virtual time)).  The slowest rank's window
+    covers all the loop work, excluding engine setup/teardown (which
+    fusion does not target) without hiding any hot-path cost."""
+    from repro.core import runtime
+    results = runtime.run(body, system="thetagpu", nodes=nodes,
+                          ranks_per_node=RANKS_PER_NODE, mode="pure_xccl")
+    loop_s = max(r[0] for r in results)
+    return (ITERS * nranks) / loop_s, [r[1:] for r in results]
+
+
+def _measure(body, nodes, nranks):
+    """Interleaved best-of-``REPEATS`` A/B measurement.
+
+    Alternating off/on runs (rather than all-off then all-on) keeps a
+    load drift on the host from biasing one side; best-of-N damps
+    scheduler noise."""
+    from repro import fastpath
+    best = {False: 0.0, True: 0.0}
+    results = {}
+    for flag in (False, True):
+        fastpath.set_fusion_enabled(flag)
+        _run_once(body, nodes, nranks)              # warm per mode
+    for _ in range(REPEATS):
+        for flag in (False, True):
+            fastpath.set_fusion_enabled(flag)
+            ops, res = _run_once(body, nodes, nranks)
+            best[flag] = max(best[flag], ops)
+            results[flag] = res
+    return best, results
+
+
+def main() -> None:
+    from repro import fastpath
+
+    cases = {
+        "alltoallv": _alltoallv_body,
+        "allgatherv": _allgatherv_body,
+        "gather": _gather_body,
+    }
+    report = {"config": {"ranks_per_node": RANKS_PER_NODE, "count": COUNT,
+                         "iterations": ITERS, "system": "thetagpu",
+                         "mode": "pure_xccl"},
+              "cases": {}}
+
+    prev = fastpath.fusion_enabled()
+    try:
+        for nodes, nranks in SCALES:
+            for name, body in cases.items():
+                fastpath.STATS.reset()
+                best, results = _measure(body, nodes, nranks)
+                stats = fastpath.STATS.snapshot()
+                before, after = best[False], best[True]
+                payloads = {f: [r[0] for r in res]
+                            for f, res in results.items()}
+                if payloads[False] != payloads[True]:
+                    raise AssertionError(
+                        f"{name}@{nranks}: fusion changed payloads")
+                bit_identical_times = None
+                if nodes == 1:
+                    times = {f: [r[1] for r in res]
+                             for f, res in results.items()}
+                    if times[False] != times[True]:
+                        raise AssertionError(
+                            f"{name}@{nranks}: fusion changed virtual times: "
+                            f"{times[False]} != {times[True]}")
+                    bit_identical_times = True
+                report["cases"][f"{name}@{nranks}"] = {
+                    "nodes": nodes,
+                    "ranks": nranks,
+                    "ops_per_sec_before": round(before, 1),
+                    "ops_per_sec_after": round(after, 1),
+                    "speedup": round(after / before, 2),
+                    "fusion_stats": stats,
+                    "bit_identical_payloads": True,
+                    "bit_identical_virtual_times": bit_identical_times,
+                }
+                print(f"{name:11s}@{nranks:<3d} before {before:9.1f} ops/s   "
+                      f"after {after:9.1f} ops/s   x{after / before:.2f}")
+    finally:
+        fastpath.set_fusion_enabled(prev)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_group_fusion.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

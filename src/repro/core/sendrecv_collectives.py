@@ -5,6 +5,18 @@ from group calls and point-to-point primitives.  Listing 1 of the paper
 shows the AlltoAllv — :func:`xccl_alltoallv` is that code, line for
 line, against the unified API.  The others follow the same pattern.
 
+The *symmetric* exchanges (alltoall(v), allgatherv — every rank both
+sends and receives) open their group with the communicator hint
+(``xcclGroupStart(comm)``): each send's matching recv is queued in the
+peer's same group call, so the transport can flush the group as one
+fused rendezvous instead of one mailbox round trip per message when
+``MPIX_GROUP_FUSION`` is on.  The *rooted* collectives (gather(v),
+scatter(v)) deliberately omit the hint — a whole-group rendezvous
+would make the leaf ranks wait for everyone where the mailbox lets
+them post-and-go — and ride the bulk post/match path instead.  Results
+and virtual times are bit-identical on every path; only simulator
+wall-clock changes.
+
 Buffers are element-addressed (offsets/counts in elements of ``dt``),
 exactly like the MPI calls they implement.
 """
@@ -38,7 +50,7 @@ def xccl_alltoallv(comm: XCCLComm, sendbuf, sendcounts: Sequence[int],
                    recvcounts: Sequence[int], rdispls: Sequence[int],
                    dt: Datatype) -> None:
     """Listing 1: AlltoAllv as one send+recv pair per peer in a group."""
-    xcclGroupStart()
+    xcclGroupStart(comm)
     for r in range(comm.size):
         if sendcounts[r]:
             xcclSend(_seg(sendbuf, sdispls[r], sendcounts[r]),
@@ -143,7 +155,7 @@ def xccl_allgatherv(comm: XCCLComm, sendbuf, recvbuf,
     this path exists for the vector form the CCLs lack.)
     """
     rank = comm.rank
-    xcclGroupStart()
+    xcclGroupStart(comm)
     src = sendbuf if sendbuf is not IN_PLACE else \
         _seg(recvbuf, displs[rank], counts[rank])
     for r in range(comm.size):

@@ -13,7 +13,11 @@ core layer can all share the switch without import cycles.
 
 Control: the ``MPIX_PLAN_CACHE`` environment variable (``0``/``false``
 / ``off`` disables; default enabled), or :func:`set_plans_enabled` at
-runtime.
+runtime.  The group-fusion transport (batched mailbox delivery and the
+group-exchange rendezvous in :mod:`repro.xccl.backend`) has its own
+switch, ``MPIX_GROUP_FUSION`` / :func:`set_fusion_enabled`, under the
+same contract: fusion may only reduce wall-clock synchronization
+events, never change payloads or virtual times.
 """
 
 from __future__ import annotations
@@ -29,7 +33,12 @@ def _env_enabled() -> bool:
     return os.environ.get("MPIX_PLAN_CACHE", "1").strip().lower() not in _FALSY
 
 
+def _env_fusion_enabled() -> bool:
+    return os.environ.get("MPIX_GROUP_FUSION", "1").strip().lower() not in _FALSY
+
+
 _enabled = _env_enabled()
+_fusion_enabled = _env_fusion_enabled()
 
 
 def plans_enabled() -> bool:
@@ -42,6 +51,19 @@ def set_plans_enabled(flag: bool) -> bool:
     global _enabled
     prev = _enabled
     _enabled = bool(flag)
+    return prev
+
+
+def fusion_enabled() -> bool:
+    """Whether the fused group-call transport is active."""
+    return _fusion_enabled
+
+
+def set_fusion_enabled(flag: bool) -> bool:
+    """Flip group fusion on or off; returns the previous setting."""
+    global _fusion_enabled
+    prev = _fusion_enabled
+    _fusion_enabled = bool(flag)
     return prev
 
 
@@ -60,6 +82,11 @@ class PlanStats:
         self.misses = 0
         self.compiled = 0
         self.pool_reuses = 0
+        #: group-fusion transport counters (MPIX_GROUP_FUSION):
+        self.fusion_flushes = 0     # fused group flushes
+        self.fusion_msgs = 0        # messages delivered through fused paths
+        self.fusion_exchanges = 0   # whole-group rendezvous (one per comm group)
+        self.fusion_fallbacks = 0   # flushes/matches that fell back unfused
 
     def note_hit(self, n: int = 1) -> None:
         """Record ``n`` plan-cache hits."""
@@ -81,17 +108,39 @@ class PlanStats:
         with self._lock:
             self.pool_reuses += 1
 
+    def note_fusion_flush(self, msgs: int) -> None:
+        """Record one fused group flush that batched ``msgs`` messages."""
+        with self._lock:
+            self.fusion_flushes += 1
+            self.fusion_msgs += msgs
+
+    def note_fusion_exchange(self) -> None:
+        """Record one whole-group rendezvous exchange."""
+        with self._lock:
+            self.fusion_exchanges += 1
+
+    def note_fusion_fallback(self, n: int = 1) -> None:
+        """Record ``n`` operations that fell back to the unfused path."""
+        with self._lock:
+            self.fusion_fallbacks += n
+
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
         with self._lock:
             self.hits = self.misses = self.compiled = self.pool_reuses = 0
+            self.fusion_flushes = self.fusion_msgs = 0
+            self.fusion_exchanges = self.fusion_fallbacks = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A consistent copy of the counters."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "compiled": self.compiled,
-                    "pool_reuses": self.pool_reuses}
+                    "pool_reuses": self.pool_reuses,
+                    "fusion_flushes": self.fusion_flushes,
+                    "fusion_msgs": self.fusion_msgs,
+                    "fusion_exchanges": self.fusion_exchanges,
+                    "fusion_fallbacks": self.fusion_fallbacks}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.snapshot()

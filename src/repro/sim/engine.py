@@ -62,8 +62,11 @@ class CollectiveSlot:
                 self._done = True
                 self._cond.notify_all()
             else:
+                wait_s = Mailbox.FIRST_POLL_S
                 while not self._done:
-                    self._cond.wait(timeout=Mailbox.POLL_S)
+                    notified = self._cond.wait(timeout=wait_s)
+                    wait_s = Mailbox.FIRST_POLL_S if notified \
+                        else min(wait_s * 2.0, Mailbox.POLL_S)
                     if not self._done and self._monitor.stalled():
                         raise DeadlockError(
                             f"rank {rank} waiting in collective {self.key!r}: "
@@ -88,6 +91,35 @@ class CollectiveSlot:
         cond-vs-slots-lock ordering inversion with the engine's reaper.
         """
         return self._retrieved == self.parties
+
+
+class GroupExchangeSlot(CollectiveSlot):
+    """Rendezvous for one fused ``xcclGroupStart``/``End`` call.
+
+    Every rank of the communicator deposits its outbound messages as
+    per-destination batches (``{dst world rank: [Message, ...]}``);
+    the last arrival merges them, and each rank takes home the batch
+    addressed to it.  One rendezvous replaces the O(P^2) per-message
+    mailbox lock/notify round trips of a symmetric group (alltoallv,
+    allgatherv, ...), while every message keeps the depart/arrival
+    virtual times its sender priced — the fusion is wall-clock only.
+    """
+
+    def exchange_for(self, rank: int, batches: Dict[int, List[Any]],
+                     world_rank: int) -> List[Any]:
+        """Deposit outbound batches; return the inbound messages whose
+        destination is ``world_rank`` (sender comm-rank order, FIFO per
+        sender preserved)."""
+        merged = self.exchange(rank, batches, self._merge)
+        return merged.get(world_rank, [])
+
+    @staticmethod
+    def _merge(payloads: Dict[int, Dict[int, List[Any]]]) -> Dict[int, List[Any]]:
+        out: Dict[int, List[Any]] = {}
+        for sender in sorted(payloads):
+            for dst, msgs in payloads[sender].items():
+                out.setdefault(dst, []).extend(msgs)
+        return out
 
 
 class RankContext:
@@ -145,6 +177,14 @@ class RankContext:
         self._slot_uses[key] = use + 1
         return self.engine.collective_slot((key, use), parties or self.size)
 
+    def group_exchange_slot(self, key: Any, parties: int) -> "GroupExchangeSlot":
+        """The rendezvous slot for a keyed fused group exchange (same
+        per-rank use-count qualification as :meth:`collective_slot`)."""
+        use = self._slot_uses.get(key, 0)
+        self._slot_uses[key] = use + 1
+        return self.engine.collective_slot((key, use), parties,
+                                           factory=GroupExchangeSlot)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<RankContext {self.rank}/{self.size} on {self.device.model}>"
 
@@ -186,16 +226,19 @@ class Engine:
         """Accelerator assigned to ``rank``."""
         return self._devices[rank]
 
-    def collective_slot(self, key: Any, parties: int) -> CollectiveSlot:
+    def collective_slot(self, key: Any, parties: int,
+                        factory: type = CollectiveSlot) -> CollectiveSlot:
         """Get-or-create the rendezvous slot for ``key``.
 
         Slots are reclaimed once all parties retrieved their result.
+        ``factory`` selects the slot flavour (plain collective or
+        :class:`GroupExchangeSlot`); keys never collide across flavours.
         """
         with self._slots_lock:
             slot = self._slots.get(key)
             if slot is None or slot.finished:
-                slot = CollectiveSlot(key, parties, self.monitor,
-                                      on_finish=self._reap_slot)
+                slot = factory(key, parties, self.monitor,
+                               on_finish=self._reap_slot)
                 self._slots[key] = slot
             if slot.parties != parties:
                 raise SimulationError(

@@ -1,22 +1,31 @@
 """Tag/source-matched message delivery between rank threads.
 
 A :class:`Mailbox` is one rank's unexpected-message queue.  Senders
-:meth:`post`; receivers :meth:`match` on ``(source, tag)`` with MPI
-wildcard semantics (``ANY_SOURCE``/``ANY_TAG``) and FIFO ordering per
+:meth:`post` (or :meth:`post_many` for a fused group's batch);
+receivers :meth:`match` on ``(source, tag)`` with MPI wildcard
+semantics (``ANY_SOURCE``/``ANY_TAG``) and FIFO ordering per
 (source, tag) pair — the MPI non-overtaking rule.
+
+The queue is indexed per ``(src, tag)``: an exact-match receive goes
+straight to its bucket instead of scanning every pending message, and
+wildcard receives resolve against per-message posting order so the
+"first posted wins" rule is unchanged.
 
 Blocking coordinates with the engine's :class:`ProgressMonitor`: every
 delivery notes progress, and a receiver that waits longer than the
 progress timeout without *any* rank making progress declares the run
-deadlocked instead of hanging the test suite.
+deadlocked instead of hanging the test suite.  Waits are adaptive: a
+short first wait (so a fused burst wakes its receivers promptly), then
+exponential backoff toward :data:`Mailbox.POLL_S` while idle.
 """
 
 from __future__ import annotations
 
 import threading
 import time as _walltime
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DeadlockError
 
@@ -80,68 +89,196 @@ class Message:
     meta: dict = field(default_factory=dict)
 
 
+#: a receive specification for :meth:`Mailbox.match_many`.
+MatchSpec = Tuple[int, int, Optional[Callable[[Message], bool]]]
+
+
 class Mailbox:
     """One rank's matched-receive queue."""
 
-    #: polling interval while blocked (wall seconds); only affects how
-    #: quickly deadlocks are noticed, never virtual time.
+    #: steady-state polling interval while blocked (wall seconds); only
+    #: affects how quickly deadlocks are noticed, never virtual time.
     POLL_S = 0.02
+    #: first (and post-notify) wait: short, so receivers woken by a
+    #: fused burst resume almost immediately.
+    FIRST_POLL_S = 0.001
 
     def __init__(self, rank: int, monitor: ProgressMonitor) -> None:
         self.rank = rank
         self.monitor = monitor
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._queue: List[Message] = []
+        #: (src, tag) -> FIFO of (posting order, message)
+        self._buckets: Dict[Tuple[int, int], Deque[Tuple[int, Message]]] = {}
+        self._next_ord = 0
+
+    @property
+    def patched(self) -> bool:
+        """True when ``post`` has been wrapped on this instance (fault
+        injection); bulk delivery then degrades to per-message posts so
+        the wrapper sees every message."""
+        return "post" in self.__dict__
+
+    # -- delivery ----------------------------------------------------------
+
+    def _enqueue(self, msg: Message) -> None:
+        key = (msg.src, msg.tag)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = deque()
+        bucket.append((self._next_ord, msg))
+        self._next_ord += 1
 
     def post(self, msg: Message) -> None:
         """Deliver ``msg`` (called from the sender's thread)."""
         with self._cond:
-            self._queue.append(msg)
+            self._enqueue(msg)
             self.monitor.note_progress()
             self._cond.notify_all()
 
+    def post_many(self, msgs: Sequence[Message]) -> None:
+        """Deliver a batch under one lock acquisition and one wakeup.
+
+        Per-(src, tag) FIFO order follows the order of ``msgs``.  When
+        ``post`` is instance-wrapped (fault injection), the batch is
+        replayed through the wrapper message by message.
+        """
+        if not msgs:
+            return
+        if self.patched:
+            for msg in msgs:
+                self.post(msg)
+            return
+        with self._cond:
+            for msg in msgs:
+                self._enqueue(msg)
+            self.monitor.note_progress()
+            self._cond.notify_all()
+
+    # -- matching ----------------------------------------------------------
+
     def _find(self, src: int, tag: int,
-              where: Optional[Callable[[Message], bool]]) -> Optional[int]:
-        for i, m in enumerate(self._queue):
-            if src != ANY_SOURCE and m.src != src:
+              where: Optional[Callable[[Message], bool]]
+              ) -> Optional[Tuple[Tuple[int, int], int]]:
+        """Locate the first (posting-order) matching message; returns
+        its ``(bucket key, index within bucket)`` or None."""
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            key = (src, tag)
+            bucket = self._buckets.get(key)
+            if not bucket:
+                return None
+            if where is None:
+                return key, 0
+            for i, (_, m) in enumerate(bucket):
+                if where(m):
+                    return key, i
+            return None
+        # wildcard: pick the earliest-posted message across the
+        # candidate buckets (buckets are sorted by posting order)
+        best: Optional[Tuple[Tuple[int, int], int]] = None
+        best_ord = None
+        for key, bucket in self._buckets.items():
+            if src != ANY_SOURCE and key[0] != src:
                 continue
-            if tag != ANY_TAG and m.tag != tag:
+            if tag != ANY_TAG and key[1] != tag:
                 continue
-            if where is not None and not where(m):
-                continue
-            return i
-        return None
+            for i, (order, m) in enumerate(bucket):
+                if best_ord is not None and order >= best_ord:
+                    break  # nothing earlier left in this bucket
+                if where is not None and not where(m):
+                    continue
+                best, best_ord = (key, i), order
+                break
+        return best
+
+    def _pop(self, found: Tuple[Tuple[int, int], int]) -> Message:
+        key, i = found
+        bucket = self._buckets[key]
+        if i == 0:
+            _, msg = bucket.popleft()
+        else:
+            _, msg = bucket[i]
+            del bucket[i]
+        if not bucket:
+            del self._buckets[key]
+        return msg
 
     def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
         """Non-destructive match (MPI_Iprobe): the message stays queued."""
         with self._lock:
-            i = self._find(src, tag, None)
-            return self._queue[i] if i is not None else None
+            found = self._find(src, tag, None)
+            if found is None:
+                return None
+            key, i = found
+            return self._buckets[key][i][1]
 
     def try_match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
                   where: Optional[Callable[[Message], bool]] = None) -> Optional[Message]:
         """Dequeue the first matching message, or None."""
         with self._lock:
-            i = self._find(src, tag, where)
-            return self._queue.pop(i) if i is not None else None
+            found = self._find(src, tag, where)
+            return self._pop(found) if found is not None else None
 
     def match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
               where: Optional[Callable[[Message], bool]] = None) -> Message:
         """Blocking matched receive (FIFO per source/tag pair)."""
         with self._cond:
+            wait_s = self.FIRST_POLL_S
             while True:
-                i = self._find(src, tag, where)
-                if i is not None:
-                    return self._queue.pop(i)
-                self._cond.wait(timeout=self.POLL_S)
+                found = self._find(src, tag, where)
+                if found is not None:
+                    return self._pop(found)
+                notified = self._cond.wait(timeout=wait_s)
+                wait_s = self.FIRST_POLL_S if notified \
+                    else min(wait_s * 2.0, self.POLL_S)
                 if self.monitor.stalled():
                     raise DeadlockError(
                         f"rank {self.rank} blocked in recv(src={src}, tag={tag}); "
+                        f"no rank made progress for {self.monitor.timeout_s}s")
+
+    def match_many(self, specs: Sequence[MatchSpec]) -> List[Message]:
+        """Blocking matched receive of a whole batch.
+
+        ``specs`` is a sequence of ``(src, tag, where)``; the result
+        holds the matched messages in spec order.  The queue lock is
+        taken once for the whole batch: each wakeup drains every spec
+        that can currently match, instead of one lock round trip per
+        message.  Specs are scanned in order on every pass, so two
+        specs competing for the same (src, tag) stream preserve FIFO.
+        """
+        results: List[Optional[Message]] = [None] * len(specs)
+        remaining = list(range(len(specs)))
+        if not remaining:
+            return []  # type: ignore[return-value]
+        with self._cond:
+            wait_s = self.FIRST_POLL_S
+            while True:
+                progressed = False
+                still: List[int] = []
+                for idx in remaining:
+                    src, tag, where = specs[idx]
+                    found = self._find(src, tag, where)
+                    if found is not None:
+                        results[idx] = self._pop(found)
+                        progressed = True
+                    else:
+                        still.append(idx)
+                remaining = still
+                if not remaining:
+                    return results  # type: ignore[return-value]
+                if progressed:
+                    continue  # a pop may have unblocked a later spec
+                notified = self._cond.wait(timeout=wait_s)
+                wait_s = self.FIRST_POLL_S if notified \
+                    else min(wait_s * 2.0, self.POLL_S)
+                if self.monitor.stalled():
+                    raise DeadlockError(
+                        f"rank {self.rank} blocked in fused recv "
+                        f"({len(remaining)}/{len(specs)} outstanding); "
                         f"no rank made progress for {self.monitor.timeout_s}s")
 
     @property
     def pending(self) -> int:
         """Number of unmatched messages (diagnostics)."""
         with self._lock:
-            return len(self._queue)
+            return sum(len(b) for b in self._buckets.values())

@@ -115,9 +115,18 @@ def xcclRecv(recvbuff, count: int, datatype: Datatype, peer: int,
     _backend(comm).recv(comm, recvbuff, count, datatype, peer)
 
 
-def xcclGroupStart() -> None:
-    """``ncclGroupStart``: begin fusing p2p calls."""
-    _backend_mod.group_start()
+def xcclGroupStart(comm: Optional[XCCLComm] = None) -> None:
+    """``ncclGroupStart``: begin fusing p2p calls.
+
+    ``comm`` optionally hints that this group is a symmetric exchange
+    over that communicator (every rank opens the same group and every
+    send has its matching recv queued in the peer's group — the shape
+    of every §3.3 send-recv collective).  The hint lets the transport
+    flush the whole group as one engine rendezvous when
+    ``MPIX_GROUP_FUSION`` is on; omitted, the call is exactly
+    ``ncclGroupStart``.
+    """
+    _backend_mod.group_start(exchange=comm)
 
 
 def xcclGroupEnd() -> None:

@@ -11,7 +11,15 @@ Every vendor backend provides the same NCCL-style surface:
 * point-to-point ``send``/``recv`` with **group semantics** (§3.3):
   inside ``group_begin``/``group_end`` operations are queued and
   launched together, paying one launch overhead and contending on the
-  wire tracker — the substrate Listing 1's AlltoAllv builds on;
+  wire tracker — the substrate Listing 1's AlltoAllv builds on.  With
+  ``MPIX_GROUP_FUSION`` on (the default), the *group* is also the
+  transport unit: sends are delivered as one bulk mailbox post per
+  peer, receives drain under a single queue lock, and a group opened
+  with a communicator hint (the send-recv collectives do this) replaces
+  the whole P^2 mailbox pattern with one engine rendezvous
+  (:class:`repro.sim.engine.GroupExchangeSlot`).  Every message keeps
+  the per-message virtual times the unfused path would compute — the
+  fusion changes wall-clock synchronization only;
 * capability checks: datatype tables (HCCL: float only) and the
   four reduce ops the NCCL API defines.
 
@@ -26,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import fastpath
 from repro.errors import (
     CCLInvalidUsage,
     CCLUnsupportedOperation,
@@ -37,7 +46,7 @@ from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 from repro.perfmodel import ccl_models
 from repro.perfmodel.params import CCLParams
-from repro.sim.mailbox import Message
+from repro.sim.mailbox import ANY_TAG, Message
 from repro.xccl.comm import XCCLComm
 from repro.xccl.datatypes import require_support
 
@@ -62,13 +71,27 @@ class _GroupState(threading.local):
     def __init__(self) -> None:
         self.depth = 0
         self.ops: List[_GroupOp] = []
+        #: communicator whose symmetric exchange this group is (set by
+        #: the outermost group_start; enables the fused rendezvous)
+        self.exchange: Optional[XCCLComm] = None
 
 
 _group = _GroupState()
 
 
-def group_start() -> None:
-    """``ncclGroupStart``: queue subsequent p2p ops on this thread."""
+def group_start(exchange: Optional[XCCLComm] = None) -> None:
+    """``ncclGroupStart``: queue subsequent p2p ops on this thread.
+
+    ``exchange`` optionally names the communicator whose ranks all
+    participate symmetrically in this group (every send has a matching
+    recv queued in the same group call on the peer — true for the
+    send-recv collectives of §3.3).  With group fusion enabled, such a
+    group flushes through one whole-group rendezvous instead of P^2
+    mailbox round trips.  The hint is only honoured on the outermost
+    ``group_start`` of a nest.
+    """
+    if _group.depth == 0:
+        _group.exchange = exchange
     _group.depth += 1
 
 
@@ -79,6 +102,14 @@ def group_end() -> None:
     _group.depth -= 1
     if _group.depth == 0:
         ops, _group.ops = _group.ops, []
+        exchange, _group.exchange = _group.exchange, None
+        if (exchange is not None and exchange.backend is not None
+                and fastpath.fusion_enabled()
+                and all(op.comm is exchange for op in ops)):
+            # whole-group rendezvous: flush even with zero local ops,
+            # since the other ranks of the exchange arrive regardless
+            exchange.backend._execute_group(ops, exchange=exchange)
+            return
         if ops:
             # one device per rank means one backend per batch in
             # practice, but partition defensively
@@ -161,9 +192,9 @@ class CCLBackend:
         else:
             self._execute_group([op])
 
-    def _p2p_pricing(self, comm: XCCLComm, peer_world: int, nbytes: int,
-                     bidir: bool = False):
-        """(resources, beta, alpha) for one CCL p2p transfer.
+    def _route_pricing(self, comm: XCCLComm, peer_world: int, bidir: bool):
+        """Size-independent route pricing for one CCL p2p flow:
+        ``(resources, beta, alpha base, store-forward rate)``.
 
         Inter-node transfers price against the *fabric* bandwidth (the
         backend's ``bw_eff_inter`` is calibrated to it; the RDMA engine
@@ -187,21 +218,89 @@ class CCLBackend:
             duplex = min(path.bottleneck.duplex_factor, self.params.bibw_ratio)
             if duplex < 2.0:
                 beta *= duplex / 2.0
-        alpha = (path.alpha_us + self.params.step_alpha(inter)
-                 + nbytes / self.params.store_forward_bpus(inter))
-        return cluster.transfer_resources(src, dst), beta, alpha
+        alpha_base = path.alpha_us + self.params.step_alpha(inter)
+        return (cluster.transfer_resources(src, dst), beta, alpha_base,
+                self.params.store_forward_bpus(inter))
 
-    def _execute_group(self, ops: Sequence[_GroupOp]) -> None:
+    def _p2p_pricing(self, comm: XCCLComm, peer_world: int, nbytes: int,
+                     bidir: bool = False):
+        """(resources, beta, alpha) for one CCL p2p transfer.
+
+        The size-independent route walk (topology path, effective
+        bandwidth, latency floor) is replayed from the communicator's
+        compiled pricing when the fused transport is on — the values
+        are identical to a fresh derivation, only the graph walk is
+        skipped.
+        """
+        if fastpath.fusion_enabled():
+            key = (peer_world, bidir)
+            cached = comm.route_pricing.get(key)
+            if cached is None:
+                cached = comm.route_pricing[key] = \
+                    self._route_pricing(comm, peer_world, bidir)
+            resources, beta, alpha_base, sf_bpus = cached
+        else:
+            resources, beta, alpha_base, sf_bpus = \
+                self._route_pricing(comm, peer_world, bidir)
+        return resources, beta, alpha_base + nbytes / sf_bpus
+
+    @staticmethod
+    def _seq_matcher(uid: int, seq: int):
+        """Predicate matching one CCL p2p message by (uid, seq)."""
+        def match(m: Message) -> bool:
+            return (m.meta.get("kind") == _MSG_KIND
+                    and m.meta.get("uid") == uid
+                    and m.meta.get("seq") == seq)
+        return match
+
+    def _execute_group(self, ops: Sequence[_GroupOp],
+                       exchange: Optional[XCCLComm] = None) -> None:
         """Launch a batch of queued p2p ops: one launch overhead, all
-        sends posted, all receives matched, stream joined at the end."""
-        ctx = ops[0].comm.ctx
-        spans = any(
-            ctx.cluster.node_index_of(ctx.device)
-            != ctx.cluster.node_index_of(ctx.device_of(op.comm.world_rank(op.peer)))
-            for op in ops)
-        launch = self.params.launch_us \
-            + (self.params.inter_extra_launch_us if spans else 0.0)
-        t0 = ctx.clock.advance(launch)
+        sends posted, all receives matched, stream joined at the end.
+
+        Three transports, all computing identical per-message virtual
+        times (same pricing, same wire bookings, in the same order):
+
+        * unfused (``MPIX_GROUP_FUSION=0``): one mailbox post per send,
+          one blocking match per recv — the pre-fusion behaviour;
+        * bulk (fusion on): sends batched into one ``post_many`` per
+          peer, recvs drained by one ``match_many`` under a single
+          queue lock;
+        * whole-group rendezvous (fusion on + ``exchange`` hint): every
+          rank of the communicator deposits its outbound batches into
+          one :class:`~repro.sim.engine.GroupExchangeSlot` and takes
+          home its inbound mail — no mailbox traffic at all.
+        """
+        fused = fastpath.fusion_enabled()
+        if exchange is not None and fused:
+            ctx = exchange.ctx
+            # fault injection wraps Mailbox.post per message; the
+            # rendezvous would bypass it, so degrade to the bulk path
+            # (patched-ness is identical from every rank's view, so
+            # all parties agree on the transport)
+            use_exchange = not any(
+                ctx.mailbox_of(exchange.world_rank(r)).patched
+                for r in range(exchange.size))
+            if not use_exchange:
+                fastpath.STATS.note_fusion_fallback()
+        else:
+            use_exchange = False
+            if not ops:
+                return
+            ctx = ops[0].comm.ctx
+        if not ops and not use_exchange:
+            return
+
+        if ops:
+            spans = any(
+                ctx.cluster.node_index_of(ctx.device)
+                != ctx.cluster.node_index_of(ctx.device_of(op.comm.world_rank(op.peer)))
+                for op in ops)
+            launch = self.params.launch_us \
+                + (self.params.inter_extra_launch_us if spans else 0.0)
+            t0 = ctx.clock.advance(launch)
+        else:
+            t0 = ctx.now  # empty exchange-side flush: nothing launched
 
         last = t0
         # flows that both send to and receive from a peer in this batch
@@ -209,41 +308,119 @@ class CCLBackend:
         send_peers = {(id(op.comm), op.peer) for op in ops if op.kind == "send"}
         recv_peers = {(id(op.comm), op.peer) for op in ops if op.kind == "recv"}
         bidir_peers = send_peers & recv_peers
-        # post every send first so symmetric groups cannot deadlock
-        for op in ops:
-            if op.kind != "send":
-                continue
-            comm, peer = op.comm, op.peer
-            peer_world = comm.world_rank(peer)
-            nbytes = op.count * op.dt.wire_itemsize
-            seq = comm.next_send_seq(peer)
-            snapshot = as_array(op.buf)[:op.count].copy()
-            if peer == comm.rank:
-                arrival = t0 + 0.5  # self-copy
-            else:
-                res, beta, alpha = self._p2p_pricing(
-                    comm, peer_world, nbytes,
-                    bidir=(id(comm), peer) in bidir_peers)
-                arrival = ctx.engine.wires.book(res, t0, nbytes, beta, alpha)
-            msg = Message(src=ctx.rank, dst=peer_world, tag=0, data=snapshot,
-                          depart_us=t0, arrival_us=arrival, nbytes=nbytes,
-                          meta={"kind": _MSG_KIND, "uid": comm.uid, "seq": seq})
-            ctx.mailbox_of(peer_world).post(msg)
-            ctx.trace.record("ccl-send", t0, t0, peer=peer_world, nbytes=nbytes)
-        for op in ops:
-            if op.kind != "recv":
-                continue
-            comm, peer = op.comm, op.peer
-            peer_world = comm.world_rank(peer)
-            seq = comm.next_recv_seq(peer)
-            uid = comm.uid
+        # price and post every send first so symmetric groups cannot
+        # deadlock; fused transports collect per-peer batches instead
+        # of posting message by message
+        outbound: Dict[int, List[Message]] = {}
+        nmsgs = 0
+        if fused:
+            # stage every send, then book the whole group's wire
+            # transfers under one tracker lock — bookings land in the
+            # same per-message order, so arrivals are bit-identical to
+            # the unfused path
+            staged = []
+            bookings = []
+            for op in ops:
+                if op.kind != "send":
+                    continue
+                comm, peer = op.comm, op.peer
+                peer_world = comm.world_rank(peer)
+                nbytes = op.count * op.dt.wire_itemsize
+                seq = comm.next_send_seq(peer)
+                snapshot = as_array(op.buf)[:op.count].copy()
+                if peer == comm.rank:
+                    staged.append((comm, peer_world, nbytes, seq, snapshot, None))
+                else:
+                    res, beta, alpha = self._p2p_pricing(
+                        comm, peer_world, nbytes,
+                        bidir=(id(comm), peer) in bidir_peers)
+                    staged.append((comm, peer_world, nbytes, seq, snapshot,
+                                   len(bookings)))
+                    bookings.append((res, t0, nbytes, beta, alpha))
+            arrivals = ctx.engine.wires.book_many(bookings)
+            for comm, peer_world, nbytes, seq, snapshot, bi in staged:
+                arrival = t0 + 0.5 if bi is None else arrivals[bi]  # self-copy
+                msg = Message(src=ctx.rank, dst=peer_world, tag=0,
+                              data=snapshot, depart_us=t0, arrival_us=arrival,
+                              nbytes=nbytes,
+                              meta={"kind": _MSG_KIND, "uid": comm.uid,
+                                    "seq": seq})
+                outbound.setdefault(peer_world, []).append(msg)
+                nmsgs += 1
+                ctx.trace.record("ccl-send", t0, t0, peer=peer_world,
+                                 nbytes=nbytes)
+        else:
+            for op in ops:
+                if op.kind != "send":
+                    continue
+                comm, peer = op.comm, op.peer
+                peer_world = comm.world_rank(peer)
+                nbytes = op.count * op.dt.wire_itemsize
+                seq = comm.next_send_seq(peer)
+                snapshot = as_array(op.buf)[:op.count].copy()
+                if peer == comm.rank:
+                    arrival = t0 + 0.5  # self-copy
+                else:
+                    res, beta, alpha = self._p2p_pricing(
+                        comm, peer_world, nbytes,
+                        bidir=(id(comm), peer) in bidir_peers)
+                    arrival = ctx.engine.wires.book(res, t0, nbytes, beta, alpha)
+                msg = Message(src=ctx.rank, dst=peer_world, tag=0,
+                              data=snapshot, depart_us=t0, arrival_us=arrival,
+                              nbytes=nbytes,
+                              meta={"kind": _MSG_KIND, "uid": comm.uid,
+                                    "seq": seq})
+                ctx.mailbox_of(peer_world).post(msg)
+                ctx.trace.record("ccl-send", t0, t0, peer=peer_world,
+                                 nbytes=nbytes)
 
-            def match(m: Message, uid=uid, seq=seq) -> bool:
-                return (m.meta.get("kind") == _MSG_KIND
-                        and m.meta.get("uid") == uid
-                        and m.meta.get("seq") == seq)
+        recv_ops = [op for op in ops if op.kind == "recv"]
+        matched: List[Message] = []
+        if use_exchange:
+            assert exchange is not None
+            slot = ctx.group_exchange_slot(exchange.next_group_key(),
+                                           exchange.size)
+            inbound = slot.exchange_for(exchange.rank, outbound, ctx.rank)
+            index = {(m.src, m.meta["uid"], m.meta["seq"]): m for m in inbound}
+            fastpath.STATS.note_fusion_exchange()
+            fastpath.STATS.note_fusion_flush(nmsgs)
+            for op in recv_ops:
+                peer_world = op.comm.world_rank(op.peer)
+                seq = op.comm.next_recv_seq(op.peer)
+                msg = index.pop((peer_world, op.comm.uid, seq), None)
+                if msg is None:
+                    # sent outside this group call (mixed patterns):
+                    # fall back to the mailbox like the unfused path
+                    fastpath.STATS.note_fusion_fallback()
+                    msg = ctx.mailbox.match(
+                        src=peer_world,
+                        where=self._seq_matcher(op.comm.uid, seq))
+                matched.append(msg)
+            if index:
+                # inbound mail this group's recvs did not claim stays
+                # receivable by a later group or recv
+                ctx.mailbox.post_many(list(index.values()))
+        elif fused:
+            for dst, msgs in outbound.items():
+                ctx.mailbox_of(dst).post_many(msgs)
+            fastpath.STATS.note_fusion_flush(nmsgs)
+            specs = []
+            for op in recv_ops:
+                peer_world = op.comm.world_rank(op.peer)
+                seq = op.comm.next_recv_seq(op.peer)
+                specs.append((peer_world, ANY_TAG,
+                              self._seq_matcher(op.comm.uid, seq)))
+            matched = ctx.mailbox.match_many(specs)
+        else:
+            for op in recv_ops:
+                peer_world = op.comm.world_rank(op.peer)
+                seq = op.comm.next_recv_seq(op.peer)
+                matched.append(ctx.mailbox.match(
+                    src=peer_world,
+                    where=self._seq_matcher(op.comm.uid, seq)))
 
-            msg = ctx.mailbox.match(src=peer_world, where=match)
+        for op, msg in zip(recv_ops, matched):
+            peer_world = op.comm.world_rank(op.peer)
             target = as_array(op.buf)[:op.count]
             target[...] = msg.data if msg.data.dtype == target.dtype \
                 else msg.data.astype(target.dtype)

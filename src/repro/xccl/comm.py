@@ -60,12 +60,19 @@ class XCCLComm:
         self.rank = rank
         self.stream = stream or ctx.device.create_stream(f"xccl:{uid}")
         self._coll_seq = itertools.count(1)
+        self._group_seq = itertools.count(1)
         self._send_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
         self._recv_seq: Dict[int, itertools.count] = defaultdict(lambda: itertools.count(1))
         self._shape: Optional[CommShape] = None
         #: compiled chunk geometry (counts/displs tuples) reused by the
         #: send-recv collectives when the plan fast path is on.
         self.plan_geometry: Dict[Tuple, Tuple] = {}
+        #: compiled p2p route pricing per (peer rank, bidir) — the
+        #: size-independent (resources, beta, alpha base, store-forward
+        #: rate) of a transfer; replayed by the fused group transport
+        #: (topology and backend params are immutable for the comm's
+        #: lifetime, so the values are identical to a fresh derivation).
+        self.route_pricing: Dict[Tuple[int, bool], Tuple] = {}
         self.aborted = False
 
     @property
@@ -92,6 +99,12 @@ class XCCLComm:
         """Rendezvous key for the next fused collective (identical
         call order across ranks keeps these aligned)."""
         return ("xccl", self.uid, kind, next(self._coll_seq))
+
+    def next_group_key(self) -> Tuple:
+        """Rendezvous key for the next fused group exchange.  A
+        counter separate from :meth:`next_coll_key` so toggling group
+        fusion never perturbs the built-in collectives' key stream."""
+        return ("xccl-group", self.uid, next(self._group_seq))
 
     def next_send_seq(self, dst_rank: int) -> int:
         """Program-order sequence number for a send to ``dst_rank``."""
