@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-quick bench-hotpath bench-fusion report examples tune clean
+.PHONY: install test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates report examples tune clean
 
 install:
 	pip install -e .
@@ -28,6 +28,19 @@ bench-hotpath:
 
 bench-fusion:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_group_fusion.py
+
+bench-zerocopy:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_zero_copy.py
+
+# refresh every committed BENCH_*.json in one go
+bench-all: bench-hotpath bench-fusion bench-zerocopy
+
+# tier-1 suite with each fast-path gate individually disabled: every
+# optimisation must be pure wall-clock, invisible to results
+check-gates:
+	MPIX_PLAN_CACHE=0 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_GROUP_FUSION=0 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_ZERO_COPY=0 $(PYTHON) -m pytest tests/ -x -q
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

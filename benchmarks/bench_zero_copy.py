@@ -1,0 +1,245 @@
+"""Zero-copy datapath microbenchmark: ownership transfer on vs off.
+
+Measures *wall-clock* throughput (engine-driven operations per second,
+not virtual time) of large-message collective and exchange loops with
+the zero-copy datapath disabled ("before", defensive snapshot per
+payload, fresh accumulator per reduction) and enabled ("after",
+borrowed read-only views, pooled accumulators, results written straight
+into receive buffers).  Payloads and virtual times are asserted
+bit-identical either way — the gate may only change how fast the
+simulator runs, never what it computes.
+
+Rounds are interleaved off/on and the best of ``REPEATS`` is kept, so
+host load drift cannot bias one side.  A separate ``tracemalloc`` pass
+records the peak traced allocation of one full run per side — the
+allocation-churn half of the win (snapshots and concatenations are
+1 MiB+ buffers that the copying path re-allocates every call).
+
+Each case runs in a fresh interpreter (``--case`` child processes):
+glibc adapts its mmap threshold to whatever the previous case freed,
+so allocator state left behind by one case would otherwise bleed into
+the next case's copying-path numbers.
+
+Run with ``make bench-zerocopy`` or::
+
+    PYTHONPATH=src python benchmarks/bench_zero_copy.py
+
+Writes ``BENCH_zero_copy.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+ITERS = 16
+COUNT = 1 << 18      # floats per rank: 1 MiB payloads — big enough that
+                     # copies and allocations dominate per-call overhead
+RANKS_PER_NODE = 8   # thetagpu: 8 A100s per node
+NODES = 1            # single node: virtual times exactly reproducible
+NRANKS = NODES * RANKS_PER_NODE
+REPEATS = 7
+
+
+def _allreduce_body(mpx):
+    import numpy as np
+    from repro.mpi import SUM
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    send = ctx.device.zeros(COUNT, dtype=np.float32)
+    recv = ctx.device.zeros(COUNT, dtype=np.float32)
+    send.array[:] = comm.rank + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Allreduce(send, recv, SUM)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _allgather_body(mpx):
+    """In-place allgather (the common spelling: each rank contributes
+    its own segment of the receive buffer).  Zero-copy gathers peer
+    segments straight from the borrowed views and leaves the own
+    segment untouched; the copying path snapshots, concatenates, and
+    rewrites the full 8 MiB gathered message every call."""
+    import numpy as np
+    from repro.mpi.communicator import IN_PLACE
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    recv = ctx.device.zeros(COUNT * comm.size, dtype=np.float32)
+    recv.array[comm.rank * COUNT:(comm.rank + 1) * COUNT] = comm.rank + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Allgather(IN_PLACE, recv, count=COUNT)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _reduce_scatter_body(mpx):
+    import numpy as np
+    from repro.mpi import SUM
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    send = ctx.device.zeros(COUNT * comm.size, dtype=np.float32)
+    recv = ctx.device.zeros(COUNT, dtype=np.float32)
+    send.array[:] = comm.rank + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Reduce_scatter_block(send, recv, SUM)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _ring_sendrecv_body(mpx):
+    """Large rendezvous exchanges around a ring: the leased-view p2p
+    handoff (copy-before-CTS) replaces one snapshot per hop."""
+    import numpy as np
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    send = ctx.device.zeros(COUNT, dtype=np.float32)
+    recv = ctx.device.zeros(COUNT, dtype=np.float32)
+    send.array[:] = comm.rank + 1
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ITERS):
+        comm.Sendrecv(send, right, recv, left)
+    elapsed = time.perf_counter() - t0
+    return elapsed, recv.array.tobytes(), float(ctx.now)
+
+
+def _run_once(body):
+    """One engine run; returns (ops/sec of the iteration loop alone,
+    per-rank (payload, virtual time))."""
+    from repro.core import runtime
+    results = runtime.run(body, system="thetagpu", nodes=NODES,
+                          ranks_per_node=RANKS_PER_NODE, mode="pure_xccl")
+    loop_s = max(r[0] for r in results)
+    return (ITERS * NRANKS) / loop_s, [r[1:] for r in results]
+
+
+def _measure(body):
+    """Interleaved best-of-``REPEATS`` A/B measurement."""
+    from repro import fastpath
+    best = {False: 0.0, True: 0.0}
+    results = {}
+    for flag in (False, True):
+        fastpath.set_zero_copy_enabled(flag)
+        _run_once(body)                             # warm per mode
+    for _ in range(REPEATS):
+        for flag in (False, True):
+            fastpath.set_zero_copy_enabled(flag)
+            ops, res = _run_once(body)
+            best[flag] = max(best[flag], ops)
+            results[flag] = res
+    return best, results
+
+
+def _peak_mib(body):
+    """Peak traced allocation (MiB) of one run per side, tracemalloc."""
+    from repro import fastpath
+    peaks = {}
+    for flag in (False, True):
+        fastpath.set_zero_copy_enabled(flag)
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            _run_once(body)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        peaks[flag] = peak / (1 << 20)
+    return peaks
+
+
+CASES = {
+    "allreduce": _allreduce_body,
+    "allgather": _allgather_body,
+    "reduce_scatter": _reduce_scatter_body,
+    "ring_sendrecv": _ring_sendrecv_body,
+}
+
+
+def run_case(name: str) -> dict:
+    """Measure one case (called in a fresh interpreter per case)."""
+    from repro import fastpath
+
+    body = CASES[name]
+    prev = fastpath.zero_copy_enabled()
+    try:
+        fastpath.STATS.reset()
+        best, results = _measure(body)
+        stats = fastpath.STATS.snapshot()
+        peaks = _peak_mib(body)
+    finally:
+        fastpath.set_zero_copy_enabled(prev)
+    before, after = best[False], best[True]
+    payloads = {f: [r[0] for r in res] for f, res in results.items()}
+    if payloads[False] != payloads[True]:
+        raise AssertionError(f"{name}: zero-copy changed payloads")
+    times = {f: [r[1] for r in res] for f, res in results.items()}
+    if times[False] != times[True]:
+        raise AssertionError(
+            f"{name}: zero-copy changed virtual times: "
+            f"{times[False]} != {times[True]}")
+    return {
+        "ops_per_sec_before": round(before, 1),
+        "ops_per_sec_after": round(after, 1),
+        "speedup": round(after / before, 2),
+        "peak_mib_before": round(peaks[False], 1),
+        "peak_mib_after": round(peaks[True], 1),
+        "zero_copy_stats": {
+            k: stats[k] for k in ("copies_elided", "copies_forced",
+                                  "accumulator_reuses")},
+        "bit_identical_payloads": True,
+        "bit_identical_virtual_times": True,
+    }
+
+
+def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--case":
+        json.dump(run_case(sys.argv[2]), sys.stdout)
+        return
+
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ, PYTHONPATH=str(root / "src"))
+    report = {"config": {"ranks": NRANKS, "count": COUNT,
+                         "payload_mib": COUNT * 4 / (1 << 20),
+                         "allgather_message_mib":
+                             COUNT * 4 * NRANKS / (1 << 20),
+                         "allgather_in_place": True,
+                         "iterations": ITERS, "repeats": REPEATS,
+                         "process_per_case": True,
+                         "system": "thetagpu", "mode": "pure_xccl"},
+              "cases": {}}
+    for name in CASES:
+        proc = subprocess.run(
+            [sys.executable, __file__, "--case", name],
+            capture_output=True, text=True, env=env, cwd=str(root))
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise RuntimeError(f"case {name} failed")
+        case = json.loads(proc.stdout)
+        report["cases"][name] = case
+        print(f"{name:15s} before {case['ops_per_sec_before']:8.1f} ops/s   "
+              f"after {case['ops_per_sec_after']:8.1f} ops/s   "
+              f"x{case['speedup']:.2f}   "
+              f"peak {case['peak_mib_before']:7.1f} -> "
+              f"{case['peak_mib_after']:7.1f} MiB")
+
+    out = root / "BENCH_zero_copy.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,14 @@ them post-and-go — and ride the bulk post/match path instead.  Results
 and virtual times are bit-identical on every path; only simulator
 wall-clock changes.
 
+With ``MPIX_ZERO_COPY`` on, sends flushed through the whole-group
+rendezvous travel as borrowed read-only views of the caller's segments
+instead of per-peer snapshots; the group's consume barrier hands the
+buffers back once every peer has copied out.  ``MPI_IN_PLACE``
+spellings, where a send segment aliases a receive window of the same
+call (allgatherv), are detected per message and forced back onto the
+copying path — see :meth:`repro.xccl.backend.CCLBackend._execute_group`.
+
 Buffers are element-addressed (offsets/counts in elements of ``dt``),
 exactly like the MPI calls they implement.
 """

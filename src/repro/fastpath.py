@@ -18,6 +18,13 @@ group-exchange rendezvous in :mod:`repro.xccl.backend`) has its own
 switch, ``MPIX_GROUP_FUSION`` / :func:`set_fusion_enabled`, under the
 same contract: fusion may only reduce wall-clock synchronization
 events, never change payloads or virtual times.
+
+The zero-copy datapath (``MPIX_ZERO_COPY`` /
+:func:`set_zero_copy_enabled`) is the third gate: payload handoff by
+read-only view instead of defensive snapshot, pooled reduction
+accumulators, and vectorized reduction kernels.  Same contract again —
+payloads and virtual times are bit-identical with the gate on or off;
+only simulator wall-clock (and allocator traffic) changes.
 """
 
 from __future__ import annotations
@@ -37,8 +44,13 @@ def _env_fusion_enabled() -> bool:
     return os.environ.get("MPIX_GROUP_FUSION", "1").strip().lower() not in _FALSY
 
 
+def _env_zero_copy_enabled() -> bool:
+    return os.environ.get("MPIX_ZERO_COPY", "1").strip().lower() not in _FALSY
+
+
 _enabled = _env_enabled()
 _fusion_enabled = _env_fusion_enabled()
+_zero_copy_enabled = _env_zero_copy_enabled()
 
 
 def plans_enabled() -> bool:
@@ -67,6 +79,20 @@ def set_fusion_enabled(flag: bool) -> bool:
     return prev
 
 
+def zero_copy_enabled() -> bool:
+    """Whether the zero-copy datapath is active."""
+    return _zero_copy_enabled
+
+
+def set_zero_copy_enabled(flag: bool) -> bool:
+    """Flip the zero-copy datapath on or off; returns the previous
+    setting."""
+    global _zero_copy_enabled
+    prev = _zero_copy_enabled
+    _zero_copy_enabled = bool(flag)
+    return prev
+
+
 class PlanStats:
     """Hit/miss/compile counters for the plan-caching layer.
 
@@ -87,6 +113,10 @@ class PlanStats:
         self.fusion_msgs = 0        # messages delivered through fused paths
         self.fusion_exchanges = 0   # whole-group rendezvous (one per comm group)
         self.fusion_fallbacks = 0   # flushes/matches that fell back unfused
+        #: zero-copy datapath counters (MPIX_ZERO_COPY):
+        self.copies_elided = 0      # payload snapshots handed off as views
+        self.copies_forced = 0      # copy-on-write escapes (aliasing, faults)
+        self.accumulator_reuses = 0  # reduction/staging scratch from the pool
 
     def note_hit(self, n: int = 1) -> None:
         """Record ``n`` plan-cache hits."""
@@ -124,12 +154,30 @@ class PlanStats:
         with self._lock:
             self.fusion_fallbacks += n
 
+    def note_copy_elided(self, n: int = 1) -> None:
+        """Record ``n`` payload snapshots replaced by view handoffs."""
+        with self._lock:
+            self.copies_elided += n
+
+    def note_copy_forced(self, n: int = 1) -> None:
+        """Record ``n`` copy-on-write escapes back to the copying path."""
+        with self._lock:
+            self.copies_forced += n
+
+    def note_accumulator_reuse(self) -> None:
+        """Record one reduction/staging scratch served from the shared
+        pool instead of a fresh allocation."""
+        with self._lock:
+            self.accumulator_reuses += 1
+
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
         with self._lock:
             self.hits = self.misses = self.compiled = self.pool_reuses = 0
             self.fusion_flushes = self.fusion_msgs = 0
             self.fusion_exchanges = self.fusion_fallbacks = 0
+            self.copies_elided = self.copies_forced = 0
+            self.accumulator_reuses = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A consistent copy of the counters."""
@@ -140,7 +188,10 @@ class PlanStats:
                     "fusion_flushes": self.fusion_flushes,
                     "fusion_msgs": self.fusion_msgs,
                     "fusion_exchanges": self.fusion_exchanges,
-                    "fusion_fallbacks": self.fusion_fallbacks}
+                    "fusion_fallbacks": self.fusion_fallbacks,
+                    "copies_elided": self.copies_elided,
+                    "copies_forced": self.copies_forced,
+                    "accumulator_reuses": self.accumulator_reuses}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.snapshot()

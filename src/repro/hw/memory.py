@@ -202,3 +202,18 @@ def as_array(obj) -> np.ndarray:
         return obj.array
     arr = np.asarray(obj)
     return arr.reshape(-1)
+
+
+def borrow_view(arr: np.ndarray) -> np.ndarray:
+    """A read-only view of ``arr`` for ownership-transfer handoff.
+
+    The zero-copy datapath ships this instead of a defensive snapshot
+    when protocol structure guarantees the sender cannot reuse the
+    buffer before every reader is done.  Read-only-ness is a tripwire:
+    any consumer that tries to reduce or unpack *into* the payload
+    (instead of copying out of it) raises instead of corrupting the
+    sender's live buffer.
+    """
+    view = arr[:]
+    view.flags.writeable = False
+    return view

@@ -3,11 +3,28 @@
 The transport under every MPI call.  Messages below the eager threshold
 are buffered-sent: the payload snapshot travels immediately and the
 send completes locally.  Larger messages use rendezvous: the RTS
-carries the payload snapshot (sender-side copy semantics), the
-*receiver* prices the bulk transfer on the wire tracker once it has
-matched, and a CTS-completion flows back so the sender's ``wait``
-learns when its buffer was drained — which lets nonblocking exchange
-patterns complete without a progress thread.
+carries the payload, the *receiver* prices the bulk transfer on the
+wire tracker once it has matched, and a CTS-completion flows back so
+the sender's ``wait`` learns when its buffer was drained — which lets
+nonblocking exchange patterns complete without a progress thread.
+
+With ``MPIX_ZERO_COPY`` on, payloads whose protocol already guarantees
+the sender cannot reuse the buffer early travel as *borrowed views*
+(:class:`~repro.sim.mailbox.PayloadLease`) instead of snapshots:
+
+* **blocking rendezvous sends** — the receiver copies the payload out
+  *before* posting its CTS, so a completed ``wait`` proves the view
+  was drained; no snapshot is ever taken;
+* **eager sends inside** :meth:`P2PEndpoint.sendrecv` — the snapshot
+  is deferred: the view is posted, and only if the partner has not
+  consumed it by the time ``sendrecv`` returns is a copy forced (the
+  copy-on-write escape hatch).  Ring and pairwise exchanges — the hot
+  users of ``Sendrecv`` — mostly find the view already consumed.
+
+Aliased buffers (a send segment overlapping the receive segment of the
+same call) and patched mailboxes (fault injection) always force the
+copying path.  Virtual times and received bytes are bit-identical with
+the gate on or off.
 
 Device buffers ride the GPU-direct path (device-to-device alpha/beta,
 plus a per-message GDR surcharge) when the runtime is GPU-aware, or are
@@ -25,13 +42,13 @@ import numpy as np
 from repro import fastpath
 from repro.errors import MPIRankError, MPITruncateError
 from repro.hw.cluster import PathScope
-from repro.hw.memory import Buffer, as_array, is_device_buffer
+from repro.hw.memory import Buffer, as_array, borrow_view, is_device_buffer
 from repro.mpi.config import MPIConfig
 from repro.mpi.datatypes import Datatype, datatype_of
 from repro.mpi.request import Request
 from repro.mpi.status import Status
 from repro.sim.engine import RankContext
-from repro.sim.mailbox import ANY_SOURCE, ANY_TAG, Message
+from repro.sim.mailbox import ANY_SOURCE, ANY_TAG, Message, PayloadLease
 
 _KIND_EAGER = "eager"
 _KIND_RTS = "rts"
@@ -116,17 +133,28 @@ class P2PEndpoint:
         directions over the same link (``Sendrecv`` with the same
         partner); it prices the transfer at the duplex-shared rate.
         """
-        status, req = self._send_impl(buf, dst_world, tag, count, datatype,
-                                      bidir)
+        status, req, _msg = self._send_impl(buf, dst_world, tag, count,
+                                            datatype, bidir)
         if req is None:  # eager: completed locally
             return Request.completed(status, kind="send")
         return req
 
     def _send_impl(self, buf, dst_world: int, tag: int, count: Optional[int],
-                   datatype: Optional[Datatype],
-                   bidir: bool) -> Tuple[Status, Optional[Request]]:
-        """Post a send; returns ``(status, None)`` for an eager send
-        (complete already) or ``(status, request)`` for rendezvous."""
+                   datatype: Optional[Datatype], bidir: bool,
+                   blocking: bool = False, defer_eager: bool = False,
+                   recv_guard: Optional[np.ndarray] = None,
+                   ) -> Tuple[Status, Optional[Request], Message]:
+        """Post a send; returns ``(status, None, msg)`` for an eager
+        send (complete already) or ``(status, request, msg)`` for
+        rendezvous.
+
+        ``blocking`` promises the caller waits for rendezvous
+        completion before the buffer can be reused, which licenses the
+        leased-view handoff; ``defer_eager`` extends the lease to eager
+        sends whose caller materializes before returning (sendrecv);
+        ``recv_guard`` is the caller's receive window — any memory
+        overlap with the send segment forces the copying path.
+        """
         ctx, cfg = self.ctx, self.config
         if not 0 <= dst_world < ctx.size:
             raise MPIRankError(f"send to invalid world rank {dst_world}")
@@ -136,7 +164,7 @@ class P2PEndpoint:
         dt = datatype or datatype_of(buf)
         nbytes = _wire_bytes(count, dt)
         device = is_device_buffer(buf)
-        snapshot = arr[:count].copy()
+        send_view = arr[:count]
 
         if device and not cfg.gpu_direct:
             self._stage_to_host(nbytes)
@@ -158,7 +186,22 @@ class P2PEndpoint:
                     "device": device, "dtname": dt.name,
                     "resources": resources, "beta": beta, "alpha": alpha,
                     "duplex": path.bottleneck.duplex_factor}
-        msg = Message(src=ctx.rank, dst=dst_world, tag=tag, data=snapshot,
+        # -- zero-copy handoff decision (never affects virtual time) --
+        zc_wanted = defer_eager if eager else blocking
+        lease: Optional[PayloadLease] = None
+        if zc_wanted and fastpath.zero_copy_enabled():
+            aliased = (recv_guard is not None
+                       and np.may_share_memory(send_view, recv_guard))
+            if aliased or ctx.mailbox_of(dst_world).patched:
+                fastpath.STATS.note_copy_forced()
+                payload = send_view.copy()
+            else:
+                lease = PayloadLease()
+                meta["lease"] = lease
+                payload = borrow_view(send_view)
+        else:
+            payload = send_view.copy()
+        msg = Message(src=ctx.rank, dst=dst_world, tag=tag, data=payload,
                       depart_us=t0, arrival_us=arrival, nbytes=nbytes,
                       meta=meta)
         ctx.mailbox_of(dst_world).post(msg)
@@ -168,28 +211,44 @@ class P2PEndpoint:
                              label=meta["kind"])
         status = Status(source=ctx.rank, tag=tag, count=count, nbytes=nbytes)
         if eager:
-            return status, None
+            return status, None, msg
 
-        def complete(blocking: bool) -> Optional[Status]:
+        def complete(blocking_wait: bool) -> Optional[Status]:
             def match_cts(m: Message) -> bool:
                 return (m.meta.get("kind") == _KIND_CTS
                         and m.meta.get("seq") == seq)
-            if blocking:
+            if blocking_wait:
                 cts = ctx.mailbox.match(src=dst_world, tag=ANY_TAG, where=match_cts)
             else:
                 cts = ctx.mailbox.try_match(src=dst_world, tag=ANY_TAG, where=match_cts)
                 if cts is None:
                     return None
             ctx.clock.merge(cts.arrival_us)
+            if lease is not None:
+                # the receiver consumed before posting the CTS, so this
+                # is a no-op reclaim; count the snapshot we never took
+                if lease.materialize(msg):  # pragma: no cover - defensive
+                    fastpath.STATS.note_copy_forced()
+                else:
+                    fastpath.STATS.note_copy_elided()
             return status
 
-        return status, Request(complete, kind="send")
+        return status, Request(complete, kind="send"), msg
 
     def send(self, buf, dst_world: int, tag: int, count: Optional[int] = None,
              datatype: Optional[Datatype] = None) -> Status:
         """Blocking send (completes locally for eager, on match for
-        rendezvous — standard MPI semantics)."""
-        return self.isend(buf, dst_world, tag, count, datatype).wait()
+        rendezvous — standard MPI semantics).
+
+        Being blocking is what licenses the zero-copy rendezvous
+        handoff: the receiver has drained the leased view by the time
+        ``wait`` observes the CTS.
+        """
+        status, req, _msg = self._send_impl(buf, dst_world, tag, count,
+                                            datatype, False, blocking=True)
+        if req is None:
+            return status
+        return req.wait()
 
     # -- receive ------------------------------------------------------------
 
@@ -213,11 +272,25 @@ class P2PEndpoint:
                 f"truncates {capacity} B receive buffer")
         recv_count = msg.data.size
         device = is_device_buffer(buf)
+        lease = msg.meta.get("lease")
+        target = arr[:recv_count]
+
+        def copy_out(data: np.ndarray) -> None:
+            if target.dtype == data.dtype:
+                target[...] = data
+            else:
+                target[...] = data.astype(target.dtype)
 
         if msg.meta["kind"] == _KIND_EAGER:
             ctx.clock.merge(msg.arrival_us)
             ctx.clock.advance(cfg.recv_overhead_us + cfg.tag_matching_us
                               + msg.nbytes / cfg.unpack_bpus)
+            if device and not cfg.gpu_direct:
+                self._stage_to_host(msg.nbytes)  # H2D staging leg
+            if lease is not None:
+                lease.consume(msg, copy_out)
+            else:
+                copy_out(msg.data)
         else:
             # rendezvous: we price the bulk transfer now that we matched
             ctx.clock.merge(msg.arrival_us)  # RTS arrival
@@ -231,15 +304,18 @@ class P2PEndpoint:
                           depart_us=t_ready, arrival_us=arrival, nbytes=0,
                           meta={"kind": _KIND_CTS, "ctx_id": self.ctx_id,
                                 "seq": msg.meta["seq"]})
-            ctx.mailbox_of(msg.src).post(cts)
-
-        if device and not cfg.gpu_direct:
-            self._stage_to_host(msg.nbytes)  # H2D staging leg
-        target = arr[:recv_count]
-        if target.dtype == msg.data.dtype:
-            target[...] = msg.data
-        else:
-            target[...] = msg.data.astype(target.dtype)
+            if device and not cfg.gpu_direct:
+                self._stage_to_host(msg.nbytes)  # H2D staging leg
+            if lease is not None:
+                # copy the leased view out *before* the CTS departs:
+                # the sender's wait then proves the view was drained
+                # (the CTS timestamps were fixed above, so posting it
+                # after the copy changes no virtual time)
+                lease.consume(msg, copy_out)
+                ctx.mailbox_of(msg.src).post(cts)
+            else:
+                ctx.mailbox_of(msg.src).post(cts)
+                copy_out(msg.data)
         if ctx.trace.enabled:
             ctx.trace.record("recv", msg.depart_us, ctx.now, peer=msg.src,
                              nbytes=msg.nbytes, label=msg.meta["kind"])
@@ -283,14 +359,31 @@ class P2PEndpoint:
                  recvcount: Optional[int] = None,
                  datatype: Optional[Datatype] = None) -> Status:
         """Combined send+receive (deadlock-free exchange primitive used
-        by ring/pairwise algorithms)."""
+        by ring/pairwise algorithms).
+
+        Both protocol legs qualify for the zero-copy handoff: the
+        rendezvous leg because we wait for the CTS before returning,
+        and the eager leg because the snapshot is *deferred* — posted
+        as a leased view and only materialized (copy-on-write) if the
+        partner has not drained it by the time we return.  The receive
+        window is passed as the alias guard so in-place exchanges keep
+        the copying path.
+        """
         bidir = dst_world == src_world  # symmetric partner exchange
-        _, sreq = self._send_impl(sendbuf, dst_world, sendtag, sendcount,
-                                  datatype, bidir)
+        _, sreq, smsg = self._send_impl(
+            sendbuf, dst_world, sendtag, sendcount, datatype, bidir,
+            blocking=True, defer_eager=True, recv_guard=as_array(recvbuf))
         # inline irecv+wait: the blocking match needs no Request shell
         msg = self._match_incoming(src_world, recvtag, blocking=True)
         assert msg is not None
         status = self._finish_recv(msg, recvbuf, recvcount, datatype)
         if sreq is not None:  # rendezvous send still outstanding
-            sreq.wait()
+            sreq.wait()  # lease reclaim counted in the send completion
+        elif smsg.meta.get("lease") is not None:
+            # deferred eager snapshot: reclaim the buffer before the
+            # caller can touch it again
+            if smsg.meta["lease"].materialize(smsg):
+                fastpath.STATS.note_copy_forced()
+            else:
+                fastpath.STATS.note_copy_elided()
         return status

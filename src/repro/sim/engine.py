@@ -32,6 +32,15 @@ class CollectiveSlot:
     All ``parties`` threads call :meth:`exchange`; the last to arrive
     runs ``compute(payloads)`` (a dict rank -> payload) and its return
     value is handed to every caller.
+
+    The zero-copy datapath deposits *borrowed views* of live sender
+    buffers instead of snapshots.  Those views may be read inside
+    ``compute`` (every party is parked in the rendezvous while it runs)
+    and inside a per-rank ``consume`` callback: when ``consume`` is
+    given, each party runs it before leaving and **no party returns
+    until all have finished consuming** — the exit barrier that makes
+    the borrow safe.  ``cleanup`` (run once, by the last consumer) is
+    where pooled accumulators are returned to their pool.
     """
 
     def __init__(self, key: Any, parties: int, monitor: ProgressMonitor,
@@ -47,10 +56,22 @@ class CollectiveSlot:
         self._result: Any = None
         self._done = False
         self._retrieved = 0
+        self._consumed = 0
+        self._consume_done = False
 
     def exchange(self, rank: int, payload: Any,
-                 compute: Callable[[Dict[int, Any]], Any]) -> Any:
-        """Deposit ``payload``, wait for all parties, return the result."""
+                 compute: Callable[[Dict[int, Any]], Any],
+                 consume: Optional[Callable[[int, Any, Dict[int, Any]], None]] = None,
+                 cleanup: Optional[Callable[[Any], None]] = None) -> Any:
+        """Deposit ``payload``, wait for all parties, return the result.
+
+        ``consume(rank, result, payloads)``, when given, runs on every
+        party's own thread after the result is computed; the call only
+        returns once every party has consumed (and ``cleanup(result)``
+        has run, on the last consumer's thread).  All parties of one
+        exchange must agree on whether they pass ``consume`` — the
+        zero-copy gate is process-wide, which guarantees that.
+        """
         with self._cond:
             if rank in self._payloads:
                 raise SimulationError(
@@ -71,8 +92,17 @@ class CollectiveSlot:
                         raise DeadlockError(
                             f"rank {rank} waiting in collective {self.key!r}: "
                             f"{len(self._payloads)}/{self.parties} arrived")
-            self._retrieved += 1
             result = self._result
+        if consume is not None:
+            # the heavy copy-out runs *outside* the slot lock so all
+            # parties consume concurrently; payloads and result are
+            # frozen once ``_done`` and the barrier below keeps them
+            # alive until the last consumer is through
+            consume(rank, result, self._payloads)
+        with self._cond:
+            if consume is not None:
+                self._note_consumed(rank, cleanup, result)
+            self._retrieved += 1
             if self._retrieved == self.parties:
                 # drop payload/result references so finished slots hold
                 # no buffer snapshots, and let the engine reap the slot
@@ -81,6 +111,36 @@ class CollectiveSlot:
                 if self._on_finish is not None:
                     self._on_finish(self)
             return result
+
+    def _note_consumed(self, rank: int, cleanup, result) -> None:
+        """Mark this party's consumption done; the last consumer runs
+        ``cleanup`` and releases everyone.  Caller holds ``_cond``."""
+        self._consumed += 1
+        self._monitor.note_progress()
+        if self._consumed == self.parties:
+            if cleanup is not None:
+                cleanup(result)
+            self._consume_done = True
+            self._cond.notify_all()
+            return
+        wait_s = Mailbox.FIRST_POLL_S
+        while not self._consume_done:
+            notified = self._cond.wait(timeout=wait_s)
+            wait_s = Mailbox.FIRST_POLL_S if notified \
+                else min(wait_s * 2.0, Mailbox.POLL_S)
+            if not self._consume_done and self._monitor.stalled():
+                raise DeadlockError(
+                    f"rank {rank} waiting for consumers of collective "
+                    f"{self.key!r}: {self._consumed}/{self.parties} done")
+
+    def consume_barrier(self, rank: int) -> None:
+        """Exit barrier for borrowed payloads consumed *outside*
+        :meth:`exchange` (the fused group transport copies its inbound
+        messages after the rendezvous returns).  Every party calls this
+        once; none returns until all have — only then may senders'
+        live buffers be mutated again."""
+        with self._cond:
+            self._note_consumed(rank, None, None)
 
     @property
     def finished(self) -> bool:
@@ -215,6 +275,15 @@ class Engine:
         self.wires = WireTracker()
         self._seq = itertools.count()
         self.contexts: List[RankContext] = []
+        # shared accumulator pool for the zero-copy collectives: the
+        # reducing thread differs call to call, so unlike the per-rank
+        # staging pools this one is locked (import is deferred to keep
+        # sim below core in the layering)
+        from repro.core.plan import BufferPool
+        from repro import fastpath
+        self.scratch_pool = BufferPool(
+            threadsafe=True,
+            reuse_note=fastpath.STATS.note_accumulator_reuse)
 
     # -- lookups -----------------------------------------------------------
 

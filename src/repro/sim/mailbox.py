@@ -71,8 +71,11 @@ class Message:
         src: sending rank.
         dst: destination rank.
         tag: MPI tag.
-        data: payload (numpy array snapshot taken at send time, or any
-            Python object for pickled sends).
+        data: payload (numpy array snapshot taken at send time — or,
+            on the zero-copy datapath, a read-only *view* of the
+            sender's live buffer governed by a :class:`PayloadLease`
+            in ``meta["lease"]`` — or any Python object for pickled
+            sends).
         depart_us: sender's virtual time when the message left.
         arrival_us: virtual time at which it is available at ``dst``.
         nbytes: payload size on the wire.
@@ -87,6 +90,52 @@ class Message:
     arrival_us: float
     nbytes: int
     meta: dict = field(default_factory=dict)
+
+
+class PayloadLease:
+    """Ownership handoff of a borrowed payload view (zero-copy p2p).
+
+    The sender posts a message whose ``data`` is a read-only view of
+    its live buffer instead of a snapshot, attaching a lease.  The
+    protocol is a tiny two-party state machine:
+
+    * the receiver calls :meth:`consume` to copy the payload out; the
+      copy runs under the lease lock, so it can never interleave with
+      the sender reclaiming the buffer;
+    * the sender calls :meth:`materialize` at the last point it can
+      still do so before its buffer becomes mutable again (the return
+      of a blocking send or sendrecv).  If the receiver already
+      consumed, nothing happens and the snapshot was **elided**; if
+      not, the payload is copied *now* (the copy-on-write escape
+      hatch) and the receiver will read the snapshot instead.
+
+    Either way the bytes received are identical to the eager-copy
+    protocol — the lease only changes whether a copy happens at all.
+    """
+
+    __slots__ = ("_lock", "consumed", "materialized")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.consumed = False
+        self.materialized = False
+
+    def consume(self, msg: "Message", copy_out: Callable[[Any], None]) -> None:
+        """Receiver side: run ``copy_out(msg.data)`` under the lease."""
+        with self._lock:
+            copy_out(msg.data)
+            self.consumed = True
+            msg.data = None  # drop the borrowed view promptly
+
+    def materialize(self, msg: "Message") -> bool:
+        """Sender side: reclaim the buffer.  Returns True when a copy
+        had to be forced (receiver had not consumed yet)."""
+        with self._lock:
+            if self.consumed or self.materialized:
+                return False
+            msg.data = msg.data.copy()
+            self.materialized = True
+            return True
 
 
 #: a receive specification for :meth:`Mailbox.match_many`.

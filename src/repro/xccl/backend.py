@@ -40,7 +40,7 @@ from repro.errors import (
     CCLUnsupportedOperation,
 )
 from repro.hw.cluster import PathScope
-from repro.hw.memory import as_array, is_device_buffer
+from repro.hw.memory import as_array, borrow_view, is_device_buffer
 from repro.hw.vendors import Vendor
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
@@ -290,6 +290,11 @@ class CCLBackend:
             ctx = ops[0].comm.ctx
         if not ops and not use_exchange:
             return
+        # the whole-group rendezvous is the one transport whose exit is
+        # synchronized on every rank, so only there may send snapshots
+        # become borrowed views (reclaimed at the consume barrier);
+        # process-wide gates keep the decision symmetric across ranks
+        zc_exchange = use_exchange and fastpath.zero_copy_enabled()
 
         if ops:
             spans = any(
@@ -318,6 +323,8 @@ class CCLBackend:
             # transfers under one tracker lock — bookings land in the
             # same per-message order, so arrivals are bit-identical to
             # the unfused path
+            recv_views = [as_array(op.buf)[:op.count]
+                          for op in ops if op.kind == "recv"] if zc_exchange else []
             staged = []
             bookings = []
             for op in ops:
@@ -327,14 +334,25 @@ class CCLBackend:
                 peer_world = comm.world_rank(peer)
                 nbytes = op.count * op.dt.wire_itemsize
                 seq = comm.next_send_seq(peer)
-                snapshot = as_array(op.buf)[:op.count].copy()
+                send_view = as_array(op.buf)[:op.count]
+                if not zc_exchange:
+                    payload = send_view.copy()
+                elif any(np.may_share_memory(send_view, rv)
+                         for rv in recv_views):
+                    # in-place patterns (send segment aliased with a
+                    # receive window) keep copy-on-write semantics
+                    fastpath.STATS.note_copy_forced()
+                    payload = send_view.copy()
+                else:
+                    fastpath.STATS.note_copy_elided()
+                    payload = borrow_view(send_view)
                 if peer == comm.rank:
-                    staged.append((comm, peer_world, nbytes, seq, snapshot, None))
+                    staged.append((comm, peer_world, nbytes, seq, payload, None))
                 else:
                     res, beta, alpha = self._p2p_pricing(
                         comm, peer_world, nbytes,
                         bidir=(id(comm), peer) in bidir_peers)
-                    staged.append((comm, peer_world, nbytes, seq, snapshot,
+                    staged.append((comm, peer_world, nbytes, seq, payload,
                                    len(bookings)))
                     bookings.append((res, t0, nbytes, beta, alpha))
             arrivals = ctx.engine.wires.book_many(bookings)
@@ -375,7 +393,8 @@ class CCLBackend:
                                  nbytes=nbytes)
 
         recv_ops = [op for op in ops if op.kind == "recv"]
-        matched: List[Message] = []
+        matched: List[Optional[Message]] = []
+        pending: List[Tuple[int, _GroupOp, int, int]] = []
         if use_exchange:
             assert exchange is not None
             slot = ctx.group_exchange_slot(exchange.next_group_key(),
@@ -390,15 +409,27 @@ class CCLBackend:
                 msg = index.pop((peer_world, op.comm.uid, seq), None)
                 if msg is None:
                     # sent outside this group call (mixed patterns):
-                    # fall back to the mailbox like the unfused path
+                    # fall back to the mailbox like the unfused path.
+                    # Under zero-copy the blocking match is deferred
+                    # past the consume barrier — the sender may only
+                    # post this message after leaving its own group.
                     fastpath.STATS.note_fusion_fallback()
-                    msg = ctx.mailbox.match(
-                        src=peer_world,
-                        where=self._seq_matcher(op.comm.uid, seq))
+                    if zc_exchange:
+                        pending.append((len(matched), op, peer_world, seq))
+                    else:
+                        msg = ctx.mailbox.match(
+                            src=peer_world,
+                            where=self._seq_matcher(op.comm.uid, seq))
                 matched.append(msg)
             if index:
                 # inbound mail this group's recvs did not claim stays
-                # receivable by a later group or recv
+                # receivable by a later group or recv; borrowed views
+                # must not escape the barrier, so materialize them
+                if zc_exchange:
+                    for m in index.values():
+                        if m.data is not None and not m.data.flags.writeable:
+                            m.data = m.data.copy()
+                            fastpath.STATS.note_copy_forced()
                 ctx.mailbox.post_many(list(index.values()))
         elif fused:
             for dst, msgs in outbound.items():
@@ -419,7 +450,32 @@ class CCLBackend:
                     src=peer_world,
                     where=self._seq_matcher(op.comm.uid, seq)))
 
-        for op, msg in zip(recv_ops, matched):
+        if zc_exchange:
+            # drain every exchanged view first, then release all
+            # senders at the consume barrier; only then may the
+            # deferred fallback matches block on late traffic
+            last = self._drain_recvs(
+                ctx, ((op, msg) for op, msg in zip(recv_ops, matched)
+                      if msg is not None), last)
+            slot.consume_barrier(exchange.rank)
+            for pos, op, peer_world, seq in pending:
+                matched[pos] = ctx.mailbox.match(
+                    src=peer_world,
+                    where=self._seq_matcher(op.comm.uid, seq))
+            last = self._drain_recvs(
+                ctx, ((op, matched[pos]) for pos, op, _pw, _s in pending),
+                last)
+        else:
+            last = self._drain_recvs(ctx, zip(recv_ops, matched), last)
+        ctx.clock.merge(last)
+        for op in ops:
+            op.comm.stream.enqueue(0.0, ctx.now, label="ccl-group")
+
+    @staticmethod
+    def _drain_recvs(ctx, pairs, last: float) -> float:
+        """Copy matched messages into their receive buffers; returns
+        the updated completion watermark."""
+        for op, msg in pairs:
             peer_world = op.comm.world_rank(op.peer)
             target = as_array(op.buf)[:op.count]
             target[...] = msg.data if msg.data.dtype == target.dtype \
@@ -427,15 +483,22 @@ class CCLBackend:
             last = max(last, msg.arrival_us)
             ctx.trace.record("ccl-recv", msg.depart_us, msg.arrival_us,
                              peer=peer_world, nbytes=msg.nbytes)
-        ctx.clock.merge(last)
-        for op in ops:
-            op.comm.stream.enqueue(0.0, ctx.now, label="ccl-group")
+        return last
 
     # -- fused built-in collectives ------------------------------------------
 
-    def _fused(self, comm: XCCLComm, key, payload, duration: float, compute):
+    def _fused(self, comm: XCCLComm, key, payload, duration: float, compute,
+               consume=None, cleanup=None):
         """Common rendezvous plumbing: deposit payload, one rank
-        computes, everyone completes at ``max(arrivals) + duration``."""
+        computes, everyone completes at ``max(arrivals) + duration``.
+
+        ``consume(rank, result, data)``, when given, runs on every
+        rank's own thread under the slot's consume barrier — the window
+        in which borrowed payload views and pooled accumulators may
+        still be read (see :class:`repro.sim.engine.CollectiveSlot`).
+        ``cleanup(result)`` runs once, after the last consumer — where
+        pooled scratch is returned.
+        """
         ctx = comm.ctx
         slot = ctx.collective_slot(key, comm.size)
 
@@ -444,17 +507,70 @@ class CCLBackend:
             t_done = max(p[1] for p in payloads.values()) + duration
             return compute(data), t_done
 
-        result, t_done = slot.exchange(comm.rank, (payload, ctx.now), _run)
+        if consume is None:
+            result, t_done = slot.exchange(comm.rank, (payload, ctx.now), _run)
+        else:
+            def _consume(rank: int, result_pair, payloads: Dict[int, Tuple]):
+                consume(rank, result_pair[0],
+                        {r: p[0] for r, p in payloads.items()})
+
+            _cleanup = None if cleanup is None else \
+                (lambda result_pair: cleanup(result_pair[0]))
+            result, t_done = slot.exchange(comm.rank, (payload, ctx.now),
+                                           _run, consume=_consume,
+                                           cleanup=_cleanup)
         ctx.clock.merge(t_done)
         comm.stream.enqueue(0.0, ctx.now, label="ccl-coll")
         return result
 
+    #: reductions whose result is bit-identical under any association
+    #: order (pure element selection) — only these may use the fused
+    #: ``ufunc.reduce`` over a stacked operand block; float SUM/PROD
+    #: must keep the rank-ordered chain (numpy's reduce is pairwise).
+    _ORDER_FREE = (np.minimum, np.maximum)
+
     @staticmethod
     def _reduce_all(op: Op, arrays: Dict[int, np.ndarray]) -> np.ndarray:
         acc = arrays[0].copy()
-        for r in range(1, len(arrays)):
-            op.reduce_into(acc, arrays[r])
+        CCLBackend._reduce_into(op, arrays, acc)
         return acc
+
+    @staticmethod
+    def _reduce_into(op: Op, arrays: Dict[int, np.ndarray],
+                     acc: np.ndarray) -> None:
+        """Reduce ``arrays[1:]`` into ``acc`` (pre-seeded with
+        ``arrays[0]``), bit-identical to the legacy rank-order chain.
+
+        Order-free ops over uniform dtypes take one vectorized
+        ``ufunc.reduce`` over a stacked block instead of ``n - 1``
+        python-level calls; everything else applies the op's in-place
+        chain (``out=acc``), which allocates nothing per step.
+        """
+        n = len(arrays)
+        if (n > 2 and isinstance(op.fn, np.ufunc)
+                and op.fn in CCLBackend._ORDER_FREE
+                and all(arrays[r].dtype == acc.dtype for r in range(1, n))):
+            op.fn.reduce(
+                np.stack([acc] + [arrays[r] for r in range(1, n)]),
+                axis=0, out=acc)
+            return
+        for r in range(1, n):
+            op.reduce_into(acc, arrays[r])
+
+    def _pooled_acc(self, comm: XCCLComm, like: np.ndarray):
+        """(accumulator, pool, key): reduction scratch drawn from the
+        engine's shared pool (contents undefined, exact shape match)."""
+        pool = comm.ctx.engine.scratch_pool
+        key = (str(like.dtype), int(like.size))
+        acc = pool.acquire(key)
+        if acc is None:
+            acc = np.empty_like(like)
+        return acc, pool, key
+
+    @staticmethod
+    def _copy_out(out: np.ndarray, data: np.ndarray) -> None:
+        out[...] = data if data.dtype == out.dtype \
+            else data.astype(out.dtype)
 
     def all_reduce(self, comm: XCCLComm, sendbuf, recvbuf, count: int,
                    dt: Datatype, op: Op) -> None:
@@ -463,11 +579,28 @@ class CCLBackend:
         nbytes = count * dt.wire_itemsize
         dur = ccl_models.allreduce_time(self.params, comm.shape, nbytes)
         src = recvbuf if sendbuf is None else sendbuf
-        snapshot = as_array(src)[:count].copy()
-        result = self._fused(comm, comm.next_coll_key("allreduce"), snapshot,
+        src_view = as_array(src)[:count]
+        key = comm.next_coll_key("allreduce")
+        if fastpath.zero_copy_enabled():
+            fastpath.STATS.note_copy_elided()
+            out = as_array(recvbuf)[:count]
+
+            def compute(data):
+                acc, pool, pkey = self._pooled_acc(comm, data[0])
+                np.copyto(acc, data[0], casting="unsafe")
+                self._reduce_into(op, data, acc)
+                return acc, pool, pkey
+
+            self._fused(
+                comm, key, borrow_view(src_view), dur, compute,
+                consume=lambda rank, res, data: self._copy_out(out, res[0]),
+                cleanup=lambda res: res[1].release(res[2], res[0]))
+            return
+        snapshot = src_view.copy()
+        result = self._fused(comm, key, snapshot,
                              dur, lambda data: self._reduce_all(op, data))
         out = as_array(recvbuf)[:count]
-        out[...] = result if result.dtype == out.dtype else result.astype(out.dtype)
+        self._copy_out(out, result)
 
     def broadcast(self, comm: XCCLComm, buf, count: int, dt: Datatype,
                   root: int) -> None:
@@ -476,12 +609,28 @@ class CCLBackend:
         comm.world_rank(root)
         nbytes = count * dt.wire_itemsize
         dur = ccl_models.bcast_time(self.params, comm.shape, nbytes)
-        payload = as_array(buf)[:count].copy() if comm.rank == root else None
-        result = self._fused(comm, comm.next_coll_key("bcast"), payload,
-                             dur, lambda data: data[root])
+        key = comm.next_coll_key("bcast")
+        root_view = as_array(buf)[:count] if comm.rank == root else None
+        if fastpath.zero_copy_enabled():
+            if comm.rank == root:
+                fastpath.STATS.note_copy_elided()
+                payload = borrow_view(root_view)
+            else:
+                payload = None
+            out = None if comm.rank == root else as_array(buf)[:count]
+
+            def consume(rank, result, data):
+                if out is not None:
+                    self._copy_out(out, result)
+
+            self._fused(comm, key, payload, dur,
+                        lambda data: data[root], consume=consume)
+            return
+        payload = root_view.copy() if comm.rank == root else None
+        result = self._fused(comm, key, payload, dur, lambda data: data[root])
         if comm.rank != root:
             out = as_array(buf)[:count]
-            out[...] = result if result.dtype == out.dtype else result.astype(out.dtype)
+            self._copy_out(out, result)
 
     def reduce(self, comm: XCCLComm, sendbuf, recvbuf, count: int,
                dt: Datatype, op: Op, root: int) -> None:
@@ -491,12 +640,32 @@ class CCLBackend:
         nbytes = count * dt.wire_itemsize
         dur = ccl_models.reduce_time(self.params, comm.shape, nbytes)
         src = recvbuf if sendbuf is None else sendbuf
-        snapshot = as_array(src)[:count].copy()
-        result = self._fused(comm, comm.next_coll_key("reduce"), snapshot,
+        src_view = as_array(src)[:count]
+        key = comm.next_coll_key("reduce")
+        if fastpath.zero_copy_enabled():
+            fastpath.STATS.note_copy_elided()
+            out = as_array(recvbuf)[:count] if comm.rank == root else None
+
+            def compute(data):
+                acc, pool, pkey = self._pooled_acc(comm, data[0])
+                np.copyto(acc, data[0], casting="unsafe")
+                self._reduce_into(op, data, acc)
+                return acc, pool, pkey
+
+            def consume(rank, res, data):
+                if out is not None:
+                    self._copy_out(out, res[0])
+
+            self._fused(comm, key, borrow_view(src_view), dur, compute,
+                        consume=consume,
+                        cleanup=lambda res: res[1].release(res[2], res[0]))
+            return
+        snapshot = src_view.copy()
+        result = self._fused(comm, key, snapshot,
                              dur, lambda data: self._reduce_all(op, data))
         if comm.rank == root:
             out = as_array(recvbuf)[:count]
-            out[...] = result if result.dtype == out.dtype else result.astype(out.dtype)
+            self._copy_out(out, result)
 
     def all_gather(self, comm: XCCLComm, sendbuf, recvbuf, count: int,
                    dt: Datatype) -> None:
@@ -506,12 +675,37 @@ class CCLBackend:
         dur = ccl_models.allgather_time(self.params, comm.shape, nbytes)
         src = sendbuf if sendbuf is not None else \
             as_array(recvbuf)[comm.rank * count:(comm.rank + 1) * count]
-        snapshot = as_array(src)[:count].copy()
-        result = self._fused(
-            comm, comm.next_coll_key("allgather"), snapshot, dur,
-            lambda data: np.concatenate([data[r] for r in range(len(data))]))
+        src_view = as_array(src)[:count]
         out = as_array(recvbuf)[:count * comm.size]
-        out[...] = result if result.dtype == out.dtype else result.astype(out.dtype)
+        key = comm.next_coll_key("allgather")
+        zc = fastpath.zero_copy_enabled()
+        if zc and sendbuf is not None and np.may_share_memory(src_view, out):
+            # aliased send window (nonstandard in-place spelling):
+            # copy-on-write escape hatch
+            fastpath.STATS.note_copy_forced()
+            zc = False
+        if zc:
+            fastpath.STATS.note_copy_elided()
+            in_place = sendbuf is None
+            me = comm.rank
+
+            def consume(rank, result, data):
+                # gather straight from the borrowed views into this
+                # rank's receive buffer: no concatenation, no staging;
+                # in place, the own segment already holds its bytes
+                for r in range(comm.size):
+                    if in_place and r == me:
+                        continue
+                    self._copy_out(out[r * count:(r + 1) * count], data[r])
+
+            self._fused(comm, key, borrow_view(src_view), dur,
+                        lambda data: None, consume=consume)
+            return
+        snapshot = src_view.copy()
+        result = self._fused(
+            comm, key, snapshot, dur,
+            lambda data: np.concatenate([data[r] for r in range(len(data))]))
+        self._copy_out(out, result)
 
     def reduce_scatter(self, comm: XCCLComm, sendbuf, recvbuf, count: int,
                        dt: Datatype, op: Op) -> None:
@@ -520,13 +714,30 @@ class CCLBackend:
         nbytes = count * dt.wire_itemsize
         dur = ccl_models.reduce_scatter_time(self.params, comm.shape, nbytes)
         src = sendbuf if sendbuf is not None else recvbuf
-        snapshot = as_array(src)[:count * comm.size].copy()
-        reduced = self._fused(comm, comm.next_coll_key("reduce_scatter"),
-                              snapshot, dur,
+        src_view = as_array(src)[:count * comm.size]
+        key = comm.next_coll_key("reduce_scatter")
+        if fastpath.zero_copy_enabled():
+            fastpath.STATS.note_copy_elided()
+            out = as_array(recvbuf)[:count]
+            lo, hi = comm.rank * count, (comm.rank + 1) * count
+
+            def compute(data):
+                acc, pool, pkey = self._pooled_acc(comm, data[0])
+                np.copyto(acc, data[0], casting="unsafe")
+                self._reduce_into(op, data, acc)
+                return acc, pool, pkey
+
+            self._fused(
+                comm, key, borrow_view(src_view), dur, compute,
+                consume=lambda rank, res, data:
+                    self._copy_out(out, res[0][lo:hi]),
+                cleanup=lambda res: res[1].release(res[2], res[0]))
+            return
+        snapshot = src_view.copy()
+        reduced = self._fused(comm, key, snapshot, dur,
                               lambda data: self._reduce_all(op, data))
         out = as_array(recvbuf)[:count]
-        piece = reduced[comm.rank * count:(comm.rank + 1) * count]
-        out[...] = piece if piece.dtype == out.dtype else piece.astype(out.dtype)
+        self._copy_out(out, reduced[comm.rank * count:(comm.rank + 1) * count])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
