@@ -2,10 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates report examples tune clean
 
 install:
 	pip install -e .
+
+# ruff when present (CI installs it); otherwise the stdlib AST fallback
+# so the target works in hermetic containers
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks tools; \
+	else \
+		echo "ruff not found; using tools/lint.py fallback"; \
+		$(PYTHON) tools/lint.py src tests benchmarks tools; \
+	fi
 
 # default pytest config deselects @pytest.mark.slow sweeps
 test:

@@ -4,7 +4,6 @@ Quantifies §3.4: pure-MPI wins small, pure-xCCL wins large, and the
 hybrid table tracks whichever is better across the whole sweep.
 """
 
-import pytest
 
 from repro.core import DispatchMode, run
 from repro.mpi import SUM

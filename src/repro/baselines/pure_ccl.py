@@ -8,11 +8,8 @@ between iterations (no MPI middleware anywhere on the path).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
-import numpy as np
 
-from repro.errors import ConfigError
 from repro.mpi.datatypes import FLOAT, Datatype
 from repro.mpi.ops import SUM, Op
 from repro.sim.engine import RankContext

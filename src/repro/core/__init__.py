@@ -8,6 +8,10 @@ The xCCL Abstraction Layer (Fig. 2) integrated into the MPI middleware:
 * :mod:`repro.core.sendrecv_collectives` — the collectives the CCL APIs
   lack, built from group calls + ``xcclSend``/``xcclRecv`` (§3.3,
   Listing 1);
+* :mod:`repro.core.dispatch` — the staged dispatch pipeline: one
+  :class:`~repro.core.dispatch.CollectiveCall` descriptor per
+  collective, pushed through validate → capability-check → route →
+  plan lookup → execute, with a registry entry per collective;
 * :mod:`repro.core.fallback` — routing decisions with automatic MPI
   fallback (§1.2 advantage 3);
 * :mod:`repro.core.tuning_table` — offline-tuned MPI/xCCL thresholds
@@ -19,6 +23,7 @@ The xCCL Abstraction Layer (Fig. 2) integrated into the MPI middleware:
 """
 
 from repro.core.abstraction import XCCLAbstractionLayer
+from repro.core.dispatch import CollectiveCall, CollectivePipeline, CollectiveSpec
 from repro.core.fallback import Route, RouteDecision, FallbackReason
 from repro.core.tuning_table import TuningTable, tune_offline
 from repro.core.hybrid import HybridDispatcher, DispatchMode
@@ -26,6 +31,9 @@ from repro.core.runtime import MPIxContext, run, world_communicator
 
 __all__ = [
     "XCCLAbstractionLayer",
+    "CollectiveCall",
+    "CollectivePipeline",
+    "CollectiveSpec",
     "Route",
     "RouteDecision",
     "FallbackReason",

@@ -1,0 +1,492 @@
+"""The staged collective-dispatch pipeline: one descriptor, one seam.
+
+Every MPI collective — the five with direct CCL mappings (§3.2), the
+seven send-recv-composed ones (§3.3), and their MPI-algorithm fallbacks
+— flows through the same five stages:
+
+    CollectiveCall
+        │ validate          (registry lookup: is this one of the 12?)
+        │ capability-check  (§3.2: residency, datatype, reduce op —
+        │                    the ONE place eligibility is decided)
+        │ route             (mode pin or §3.4 tuning-table crossover)
+        │ plan lookup       (compiled RouteDecision replayed per
+        │                    communicator when MPIX_PLAN_CACHE is on)
+        ▼ execute           {direct-CCL | fused sendrecv-group |
+                             MPI-algorithm fallback}
+
+:class:`CollectiveCall` is the logical descriptor (HiCCL-style): name,
+buffers, counts/displacements, datatype, op, root, communicator.
+:data:`REGISTRY` maps each collective name to a :class:`CollectiveSpec`
+that knows how to derive the routing inputs (byte count, significant
+buffers, tuning key) and how to execute on either route.  Adding a
+collective is one registry entry; adding a cross-cutting concern
+(tracing, fault policy, new routing modes) is one pipeline stage —
+nothing per-collective needs touching (MPI-Advance-style single seam).
+
+:class:`CollectivePipeline` owns the per-communicator plan caches and
+tuning-table bindings previously spread across the hybrid dispatcher;
+:class:`repro.core.hybrid.HybridDispatcher` and
+:class:`repro.core.abstraction.XCCLAbstractionLayer` are thin adapters
+over this module.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro import fastpath
+from repro.errors import CCLError, MPIError
+from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
+from repro.core.plan import CollectivePlan, PlanCache
+from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
+from repro.core import sendrecv_collectives as srcoll
+from repro.mpi.coll import MPICollDispatcher
+from repro.mpi.communicator import IN_PLACE
+from repro.xccl import api as xapi
+
+
+class DispatchMode(enum.Enum):
+    """Routing policy."""
+
+    HYBRID = "hybrid"        # tuning table decides (the paper's design)
+    PURE_XCCL = "pure_xccl"  # always CCL when capable ("Proposed xCCL w/ Pure ...")
+    PURE_MPI = "pure_mpi"    # never CCL (the traditional-MPI baseline)
+
+
+# ---------------------------------------------------------------------------
+# the descriptor
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CollectiveCall:
+    """One logical collective operation, fully described.
+
+    Element-addressed exactly like the MPI calls it mirrors: ``count``
+    for uniform collectives, ``sendcounts``/``sdispls`` and
+    ``recvcounts``/``rdispls`` for the vector forms (gatherv and
+    allgatherv populate the recv side, scatterv the send side).
+    ``Bcast``'s single buffer is stored as ``recvbuf``.
+    """
+
+    coll: str
+    comm: Any
+    sendbuf: Any = None
+    recvbuf: Any = None
+    count: int = 0
+    sendcounts: Optional[Sequence[int]] = None
+    sdispls: Optional[Sequence[int]] = None
+    recvcounts: Optional[Sequence[int]] = None
+    rdispls: Optional[Sequence[int]] = None
+    dt: Any = None
+    op: Any = None
+    root: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """Registry entry: everything the pipeline needs for one collective.
+
+    Attributes:
+        name: canonical collective name (the :class:`CollectiveCall`
+            ``coll`` field).
+        tuning_key: the §3.4 tuning-table row this collective prices
+            against (vector forms share their uniform sibling's row).
+        nbytes: routing byte count derived from the call.
+        buffers: the residency-significant buffers for this rank.
+        ccl: the xCCL-route executor ``(layer, call) -> None`` —
+            direct CCL mapping or fused send-recv group.
+        mpi: the MPI-algorithm executor ``(dispatcher, call) -> None``.
+    """
+
+    name: str
+    tuning_key: str
+    nbytes: Callable[[CollectiveCall], int]
+    buffers: Callable[[CollectiveCall], Tuple]
+    ccl: Callable[[Any, CollectiveCall], None]
+    mpi: Callable[[MPICollDispatcher, CollectiveCall], None]
+
+
+REGISTRY: Dict[str, CollectiveSpec] = {}
+
+
+def register(spec: CollectiveSpec) -> CollectiveSpec:
+    """Add one collective to the dispatch registry."""
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def collective_spec(name: str) -> CollectiveSpec:
+    """The registry entry for ``name`` (raises MPIError when unknown)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise MPIError(f"no collective named {name!r} in the dispatch "
+                       f"registry") from None
+
+
+# ---------------------------------------------------------------------------
+# execute-stage helpers
+# ---------------------------------------------------------------------------
+
+def charged(fn):
+    """Charge the abstraction layer's per-call overhead (Fig. 2 checks:
+    buffer identify, datatype conversion, op mapping) around one mapped
+    CCL call — the single wrapper every §3.2 direct mapping runs under.
+    """
+    @functools.wraps(fn)
+    def wrapper(layer, call: CollectiveCall) -> None:
+        ctx = layer.ctx
+        ctx.clock.advance(layer.CALL_OVERHEAD_US)
+        t0 = ctx.now
+        fn(layer, call)
+        ctx.clock.advance((ctx.now - t0) * layer.CALL_OVERHEAD_FRACTION)
+    return wrapper
+
+
+def execute_ccl(layer, call: CollectiveCall) -> None:
+    """Run ``call`` on the xCCL route (the pipeline's execute stage,
+    also the body of every abstraction-layer per-collective adapter)."""
+    collective_spec(call.coll).ccl(layer, call)
+
+
+def _src(call: CollectiveCall):
+    """The CCL source operand (None for MPI_IN_PLACE spellings)."""
+    s = call.sendbuf
+    return None if s is None or s is IN_PLACE else s
+
+
+def _both(c: CollectiveCall) -> Tuple:
+    return (c.sendbuf, c.recvbuf)
+
+
+def _root_recv(c: CollectiveCall) -> Tuple:
+    """Rooted gather-side residency: recvbuf only significant at root."""
+    return (c.sendbuf, c.recvbuf) if c.comm.rank == c.root else (c.sendbuf,)
+
+
+def _root_send(c: CollectiveCall) -> Tuple:
+    """Rooted scatter-side residency: sendbuf only significant at root."""
+    return (c.sendbuf, c.recvbuf) if c.comm.rank == c.root else (c.recvbuf,)
+
+
+def _uniform_nbytes(c: CollectiveCall) -> int:
+    return c.count * c.dt.itemsize
+
+
+def _send_vec_nbytes(c: CollectiveCall) -> int:
+    return max(c.sendcounts) * c.dt.itemsize if c.sendcounts else 0
+
+
+def _recv_vec_nbytes(c: CollectiveCall) -> int:
+    return max(c.recvcounts) * c.dt.itemsize if c.recvcounts else 0
+
+
+# ---------------------------------------------------------------------------
+# the 12 registry entries
+# ---------------------------------------------------------------------------
+# §3.2 direct 1:1 mappings (charged with the layer's call overhead):
+
+@charged
+def _ccl_bcast(layer, c):
+    comm = layer.ccl_comm(c.comm)
+    xapi.xcclBroadcast(c.recvbuf, c.count, c.dt, c.root, comm)
+    xapi.xcclStreamSynchronize(comm)
+
+
+@charged
+def _ccl_reduce(layer, c):
+    comm = layer.ccl_comm(c.comm)
+    xapi.xcclReduce(_src(c), c.recvbuf, c.count, c.dt, c.op, c.root, comm)
+    xapi.xcclStreamSynchronize(comm)
+
+
+@charged
+def _ccl_allreduce(layer, c):
+    comm = layer.ccl_comm(c.comm)
+    xapi.xcclAllReduce(_src(c), c.recvbuf, c.count, c.dt, c.op, comm)
+    xapi.xcclStreamSynchronize(comm)
+
+
+@charged
+def _ccl_allgather(layer, c):
+    comm = layer.ccl_comm(c.comm)
+    xapi.xcclAllGather(_src(c), c.recvbuf, c.count, c.dt, comm)
+    xapi.xcclStreamSynchronize(comm)
+
+
+@charged
+def _ccl_reduce_scatter_block(layer, c):
+    comm = layer.ccl_comm(c.comm)
+    xapi.xcclReduceScatter(_src(c), c.recvbuf, c.count, c.dt, c.op, comm)
+    xapi.xcclStreamSynchronize(comm)
+
+
+# §3.3 send-recv compositions (grouped p2p; transport prices the calls):
+
+def _ccl_alltoall(layer, c):
+    srcoll.xccl_alltoall(layer.ccl_comm(c.comm), c.sendbuf, c.recvbuf,
+                         c.count, c.dt)
+
+
+def _ccl_alltoallv(layer, c):
+    srcoll.xccl_alltoallv(layer.ccl_comm(c.comm), c.sendbuf, c.sendcounts,
+                          c.sdispls, c.recvbuf, c.recvcounts, c.rdispls, c.dt)
+
+
+def _ccl_gather(layer, c):
+    srcoll.xccl_gather(layer.ccl_comm(c.comm), c.sendbuf, c.recvbuf,
+                       c.count, c.dt, c.root)
+
+
+def _ccl_gatherv(layer, c):
+    srcoll.xccl_gatherv(layer.ccl_comm(c.comm), c.sendbuf, c.recvbuf,
+                        c.recvcounts, c.rdispls, c.dt, c.root)
+
+
+def _ccl_scatter(layer, c):
+    srcoll.xccl_scatter(layer.ccl_comm(c.comm), c.sendbuf, c.recvbuf,
+                        c.count, c.dt, c.root)
+
+
+def _ccl_scatterv(layer, c):
+    srcoll.xccl_scatterv(layer.ccl_comm(c.comm), c.sendbuf, c.sendcounts,
+                         c.sdispls, c.recvbuf, c.dt, c.root)
+
+
+def _ccl_allgatherv(layer, c):
+    srcoll.xccl_allgatherv(layer.ccl_comm(c.comm), c.sendbuf, c.recvbuf,
+                           c.recvcounts, c.rdispls, c.dt)
+
+
+_D = MPICollDispatcher  # the traditional-MPI algorithm suite
+
+register(CollectiveSpec(
+    "bcast", "bcast", _uniform_nbytes, lambda c: (c.recvbuf,),
+    _ccl_bcast,
+    lambda d, c: _D.bcast(d, c.comm, c.recvbuf, c.count, c.dt, c.root)))
+register(CollectiveSpec(
+    "reduce", "reduce", _uniform_nbytes, _root_recv,
+    _ccl_reduce,
+    lambda d, c: _D.reduce(d, c.comm, c.sendbuf, c.recvbuf, c.count, c.dt,
+                           c.op, c.root)))
+register(CollectiveSpec(
+    "allreduce", "allreduce", _uniform_nbytes, _both,
+    _ccl_allreduce,
+    lambda d, c: _D.allreduce(d, c.comm, c.sendbuf, c.recvbuf, c.count,
+                              c.dt, c.op)))
+register(CollectiveSpec(
+    "allgather", "allgather", _uniform_nbytes, _both,
+    _ccl_allgather,
+    lambda d, c: _D.allgather(d, c.comm, c.sendbuf, c.recvbuf, c.count,
+                              c.dt)))
+register(CollectiveSpec(
+    "allgatherv", "allgather", _recv_vec_nbytes, _both,
+    _ccl_allgatherv,
+    lambda d, c: _D.allgatherv(d, c.comm, c.sendbuf, c.recvbuf,
+                               c.recvcounts, c.rdispls, c.dt)))
+register(CollectiveSpec(
+    "alltoall", "alltoall", _uniform_nbytes, _both,
+    _ccl_alltoall,
+    lambda d, c: _D.alltoall(d, c.comm, c.sendbuf, c.recvbuf, c.count,
+                             c.dt)))
+register(CollectiveSpec(
+    "alltoallv", "alltoall", _send_vec_nbytes, _both,
+    _ccl_alltoallv,
+    lambda d, c: _D.alltoallv(d, c.comm, c.sendbuf, c.sendcounts, c.sdispls,
+                              c.recvbuf, c.recvcounts, c.rdispls, c.dt)))
+register(CollectiveSpec(
+    "gather", "gather", _uniform_nbytes, _root_recv,
+    _ccl_gather,
+    lambda d, c: _D.gather(d, c.comm, c.sendbuf, c.recvbuf, c.count, c.dt,
+                           c.root)))
+register(CollectiveSpec(
+    "gatherv", "gather", _recv_vec_nbytes, _root_recv,
+    _ccl_gatherv,
+    lambda d, c: _D.gatherv(d, c.comm, c.sendbuf, c.recvbuf, c.recvcounts,
+                            c.rdispls, c.dt, c.root)))
+register(CollectiveSpec(
+    "scatter", "scatter", _uniform_nbytes, _root_send,
+    _ccl_scatter,
+    lambda d, c: _D.scatter(d, c.comm, c.sendbuf, c.recvbuf, c.count, c.dt,
+                            c.root)))
+register(CollectiveSpec(
+    "scatterv", "scatter", _send_vec_nbytes, _root_send,
+    _ccl_scatterv,
+    lambda d, c: _D.scatterv(d, c.comm, c.sendbuf, c.sendcounts, c.sdispls,
+                             c.recvbuf, c.dt, c.root)))
+register(CollectiveSpec(
+    "reduce_scatter_block", "reduce_scatter", _uniform_nbytes, _both,
+    _ccl_reduce_scatter_block,
+    lambda d, c: _D.reduce_scatter_block(d, c.comm, c.sendbuf, c.recvbuf,
+                                         c.count, c.dt, c.op)))
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+class CollectivePipeline:
+    """validate → capability-check → route → plan lookup → execute.
+
+    One per hybrid dispatcher (per rank).  Owns the routing state the
+    stages consult: the dispatch mode, the per-communicator tuning-table
+    bindings and compiled-plan caches, and the route counters.
+
+    ``mpi`` is the :class:`MPICollDispatcher` that runs the
+    MPI-algorithm fallback route (the hybrid dispatcher itself — it
+    inherits the algorithm suite).
+    """
+
+    def __init__(self, layer, mode: DispatchMode = DispatchMode.HYBRID,
+                 table: Optional[TuningTable] = None,
+                 mpi: Optional[MPICollDispatcher] = None) -> None:
+        self.layer = layer
+        self.mode = mode
+        self._table = table
+        self.mpi = mpi if mpi is not None else MPICollDispatcher()
+        self.stats = RouteStats()
+        #: per-communicator (ctx_id-keyed) compiled plans — the
+        #: pipeline is per-rank, so these are thread-confined.
+        self._plans: Dict[str, PlanCache] = {}
+        self._tables: Dict[str, TuningTable] = {}
+
+    # -- stage 1: validate --------------------------------------------------
+
+    @staticmethod
+    def validate(call: CollectiveCall) -> CollectiveSpec:
+        """Resolve the registry entry for one descriptor."""
+        return collective_spec(call.coll)
+
+    # -- stage 2: capability check (the single §3.2 choke point) ------------
+
+    def capability(self, coll: str, dt, op, significant,
+                   on_device: bool) -> Optional[RouteDecision]:
+        """The ONE place CCL eligibility is decided (§3.2 / Fig. 2):
+        backend availability, collective mapping, buffer residency,
+        datatype table (HCCL float-only, no complex anywhere), reduce-op
+        table (the four NCCL ops).  Returns the MPI fallback decision,
+        or None when the call is CCL-capable."""
+        if not self.layer.available:
+            return RouteDecision(Route.MPI, FallbackReason.NO_BACKEND)
+        if coll not in TUNABLE_COLLECTIVES:
+            return RouteDecision(Route.MPI, FallbackReason.UNSUPPORTED_COLL)
+        if significant and not on_device:
+            return RouteDecision(Route.MPI, FallbackReason.HOST_BUFFER)
+        if dt is not None and not self.layer.supports_datatype(dt):
+            return RouteDecision(Route.MPI, FallbackReason.DATATYPE)
+        if op is not None and not self.layer.supports_op(op):
+            return RouteDecision(Route.MPI, FallbackReason.REDUCE_OP)
+        return None
+
+    # -- stage 3: route (mode pin or tuning-table crossover) ----------------
+
+    def _table_for(self, comm) -> TuningTable:
+        if self._table is not None:
+            return self._table
+        if fastpath.plans_enabled():
+            table = self._tables.get(comm.ctx_id)
+            if table is not None:
+                return table
+        from repro.perfmodel.shape import shape_of
+        shape = shape_of(comm.ctx.cluster, comm.group,
+                         comm.ctx.engine.ranks_per_node)
+        assert self.layer.backend is not None
+        table = cached_table(shape, self.layer.backend.params, comm.config)
+        if fastpath.plans_enabled():
+            self._tables[comm.ctx_id] = table
+        return table
+
+    def route(self, comm, coll: str, nbytes: int, dt, op, significant,
+              on_device: bool) -> RouteDecision:
+        """One uncached walk of the Fig. 2 decision chain."""
+        if self.mode == DispatchMode.PURE_MPI:
+            return RouteDecision(Route.MPI, FallbackReason.MODE)
+        fallback = self.capability(coll, dt, op, significant, on_device)
+        if fallback is not None:
+            return fallback
+        if self.mode == DispatchMode.PURE_XCCL:
+            return RouteDecision(Route.XCCL)
+        if self._table_for(comm).choose(coll, nbytes) == "xccl":
+            return RouteDecision(Route.XCCL)
+        return RouteDecision(Route.MPI, FallbackReason.TUNING)
+
+    # -- stage 4: plan lookup -----------------------------------------------
+
+    def plan_cache(self, comm) -> PlanCache:
+        """This communicator's compiled-plan store."""
+        cache = self._plans.get(comm.ctx_id)
+        if cache is None:
+            cache = self._plans[comm.ctx_id] = PlanCache()
+        return cache
+
+    def decide(self, comm, coll: str, nbytes: int, dt=None, op=None,
+               *buffers) -> RouteDecision:
+        """The routing decision for one call (exposed for tests and
+        persistent-collective plan warming).
+
+        The decision is a pure function of (mode, collective, byte
+        count, datatype, reduce op, buffer residency); with the plan
+        fast path enabled it is compiled into a
+        :class:`CollectivePlan` once and replayed from the
+        communicator's plan cache.
+        """
+        significant = [b for b in buffers if b is not None and b is not IN_PLACE]
+        on_device = not significant or \
+            self.layer.identify_device_buffer(*significant)
+        if not fastpath.plans_enabled():
+            return self.route(comm, coll, nbytes, dt, op, significant,
+                              on_device)
+        key = (self.mode, coll, nbytes, dt.name if dt is not None else None,
+               op.name if op is not None else None, on_device)
+        cache = self.plan_cache(comm)
+        plan = cache.lookup(key)
+        if plan is None:
+            decision = self.route(comm, coll, nbytes, dt, op, significant,
+                                  on_device)
+            plan = cache.store(key, CollectivePlan(key=key, decision=decision))
+        return plan.decision
+
+    # -- stage 5: execute ---------------------------------------------------
+
+    def execute(self, call: CollectiveCall, spec: CollectiveSpec,
+                decision: RouteDecision) -> None:
+        """Run the call on its decided route; a CCL runtime error also
+        falls back to the MPI algorithms (§1.2 advantage 3)."""
+        if decision.route == Route.XCCL:
+            try:
+                spec.ccl(self.layer, call)
+                self._record(decision, spec)
+                return
+            except CCLError:
+                decision = RouteDecision(Route.MPI, FallbackReason.CCL_ERROR)
+        spec.mpi(self.mpi, call)
+        self._record(decision, spec)
+
+    def _record(self, decision: RouteDecision, spec: CollectiveSpec) -> None:
+        self.stats.record(decision, spec.tuning_key)
+        fastpath.STATS.note_dispatch(
+            xccl=decision.route == Route.XCCL,
+            fallback=decision.is_fallback,
+            ccl_error=decision.reason == FallbackReason.CCL_ERROR)
+
+    # -- the whole pipe -----------------------------------------------------
+
+    def run(self, call: CollectiveCall) -> None:
+        """Push one descriptor through all five stages."""
+        spec = self.validate(call)
+        decision = self.decide(call.comm, spec.tuning_key, spec.nbytes(call),
+                               call.dt, call.op, *spec.buffers(call))
+        self.execute(call, spec, decision)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def release(self, comm) -> None:
+        """Drop everything cached for ``comm`` (MPI ``Comm_free``):
+        compiled plans, the tuning table binding, and the abstraction
+        layer's CCL communicator."""
+        self._plans.pop(comm.ctx_id, None)
+        self._tables.pop(comm.ctx_id, None)
+        self.layer.release(comm)

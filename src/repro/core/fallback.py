@@ -13,7 +13,6 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
 
 
 class Route(enum.Enum):

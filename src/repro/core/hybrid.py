@@ -1,41 +1,30 @@
 """The hybrid dispatcher: MPI-xCCL's runtime brain (§3.4).
 
 A drop-in replacement for the communicator's default
-:class:`~repro.mpi.coll.MPICollDispatcher`.  For every collective call
-it runs the Fig. 2 decision chain:
+:class:`~repro.mpi.coll.MPICollDispatcher`.  Since the dispatch
+refactor it is a *thin adapter*: every per-collective entry point is a
+one-line construction of a :class:`~repro.core.dispatch.CollectiveCall`
+pushed through the staged :class:`~repro.core.dispatch.CollectivePipeline`
+(validate → capability-check → route → plan lookup → execute).  The
+Fig. 2 decision chain, the plan caches, and the MPI/CCL executors all
+live in :mod:`repro.core.dispatch`.
 
-1. mode check (pure-MPI pins everything to the MPI algorithms;
-   pure-xCCL skips the tuning table);
-2. device-buffer identification — CCLs cannot touch host memory;
-3. datatype and reduce-op capability checks against the backend
-   (automatic MPI fallback, §1.2 advantage 3);
-4. hybrid tuning-table lookup — MPI below the crossover, xCCL above;
-5. execute; a CCL runtime error also falls back to MPI.
-
-Scan/exscan and the barrier have no CCL mapping and always run on MPI.
+Scan/exscan and the barrier have no CCL mapping and always run on MPI
+(inherited from the base dispatcher).
 """
 
 from __future__ import annotations
 
-import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro import fastpath
-from repro.errors import CCLError
 from repro.core.abstraction import XCCLAbstractionLayer
-from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
-from repro.core.plan import CollectivePlan, PlanCache
-from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
+from repro.core.dispatch import CollectiveCall, CollectivePipeline, DispatchMode
+from repro.core.fallback import RouteDecision, RouteStats
+from repro.core.plan import PlanCache
+from repro.core.tuning_table import TuningTable
 from repro.mpi.coll import MPICollDispatcher
-from repro.mpi.communicator import IN_PLACE
 
-
-class DispatchMode(enum.Enum):
-    """Routing policy."""
-
-    HYBRID = "hybrid"        # tuning table decides (the paper's design)
-    PURE_XCCL = "pure_xccl"  # always CCL when capable ("Proposed xCCL w/ Pure ...")
-    PURE_MPI = "pure_mpi"    # never CCL (the traditional-MPI baseline)
+__all__ = ["DispatchMode", "HybridDispatcher"]
 
 
 class HybridDispatcher(MPICollDispatcher):
@@ -47,205 +36,112 @@ class HybridDispatcher(MPICollDispatcher):
                  mode: DispatchMode = DispatchMode.HYBRID,
                  table: Optional[TuningTable] = None) -> None:
         super().__init__()
-        self.layer = layer
-        self.mode = mode
-        self._table = table
-        self.stats = RouteStats()
-        #: per-communicator (ctx_id-keyed) compiled plans — the
-        #: dispatcher is per-rank, so these are thread-confined.
-        self._plans: Dict[str, PlanCache] = {}
-        self._tables: Dict[str, TuningTable] = {}
+        #: the staged dispatch pipeline (self supplies the MPI route —
+        #: this class inherits the traditional algorithm suite).
+        self.pipeline = CollectivePipeline(layer, mode, table, mpi=self)
 
-    # -- decision chain -----------------------------------------------------
+    # -- pipeline state, exposed under the historical names ------------------
 
-    def _table_for(self, comm) -> TuningTable:
-        if self._table is not None:
-            return self._table
-        if fastpath.plans_enabled():
-            table = self._tables.get(comm.ctx_id)
-            if table is not None:
-                return table
-        from repro.perfmodel.shape import shape_of
-        shape = shape_of(comm.ctx.cluster, comm.group,
-                         comm.ctx.engine.ranks_per_node)
-        assert self.layer.backend is not None
-        table = cached_table(shape, self.layer.backend.params, comm.config)
-        if fastpath.plans_enabled():
-            self._tables[comm.ctx_id] = table
-        return table
+    @property
+    def layer(self) -> XCCLAbstractionLayer:
+        """The rank's xCCL abstraction layer."""
+        return self.pipeline.layer
+
+    @property
+    def mode(self) -> DispatchMode:
+        """Routing policy (delegates to the pipeline's route stage)."""
+        return self.pipeline.mode
+
+    @mode.setter
+    def mode(self, value: DispatchMode) -> None:
+        self.pipeline.mode = value
+
+    @property
+    def stats(self) -> RouteStats:
+        """Routing counters (inspected by tests/reports)."""
+        return self.pipeline.stats
+
+    @property
+    def _plans(self) -> Dict[str, PlanCache]:
+        return self.pipeline._plans
+
+    @property
+    def _tables(self) -> Dict[str, TuningTable]:
+        return self.pipeline._tables
 
     def plan_cache(self, comm) -> PlanCache:
         """This communicator's compiled-plan store."""
-        cache = self._plans.get(comm.ctx_id)
-        if cache is None:
-            cache = self._plans[comm.ctx_id] = PlanCache()
-        return cache
-
-    def release(self, comm) -> None:
-        """Drop everything cached for ``comm`` (MPI ``Comm_free``):
-        compiled plans, the tuning table binding, and the abstraction
-        layer's CCL communicator."""
-        self._plans.pop(comm.ctx_id, None)
-        self._tables.pop(comm.ctx_id, None)
-        self.layer.release(comm)
+        return self.pipeline.plan_cache(comm)
 
     def decide(self, comm, coll: str, nbytes: int, dt=None, op=None,
                *buffers) -> RouteDecision:
-        """The routing decision for one call (exposed for tests).
+        """The routing decision for one call (exposed for tests and
+        persistent-collective plan warming)."""
+        return self.pipeline.decide(comm, coll, nbytes, dt, op, *buffers)
 
-        The decision is a pure function of (mode, collective, byte
-        count, datatype, reduce op, buffer residency); with the fast
-        path enabled it is compiled into a :class:`CollectivePlan` once
-        and replayed from the communicator's plan cache.
-        """
-        significant = [b for b in buffers if b is not None and b is not IN_PLACE]
-        on_device = not significant or \
-            self.layer.identify_device_buffer(*significant)
-        if not fastpath.plans_enabled():
-            return self._decide(comm, coll, nbytes, dt, op, significant,
-                                on_device)
-        key = (self.mode, coll, nbytes, dt.name if dt is not None else None,
-               op.name if op is not None else None, on_device)
-        cache = self.plan_cache(comm)
-        plan = cache.lookup(key)
-        if plan is None:
-            decision = self._decide(comm, coll, nbytes, dt, op, significant,
-                                    on_device)
-            plan = cache.store(key, CollectivePlan(key=key, decision=decision))
-        return plan.decision
+    def release(self, comm) -> None:
+        """Drop everything cached for ``comm`` (MPI ``Comm_free``)."""
+        self.pipeline.release(comm)
 
-    def _decide(self, comm, coll: str, nbytes: int, dt, op, significant,
-                on_device: bool) -> RouteDecision:
-        """One uncached walk of the Fig. 2 decision chain."""
-        if self.mode == DispatchMode.PURE_MPI:
-            return RouteDecision(Route.MPI, FallbackReason.MODE)
-        if not self.layer.available:
-            return RouteDecision(Route.MPI, FallbackReason.NO_BACKEND)
-        if coll not in TUNABLE_COLLECTIVES:
-            return RouteDecision(Route.MPI, FallbackReason.UNSUPPORTED_COLL)
-        if significant and not on_device:
-            return RouteDecision(Route.MPI, FallbackReason.HOST_BUFFER)
-        if dt is not None and not self.layer.supports_datatype(dt):
-            return RouteDecision(Route.MPI, FallbackReason.DATATYPE)
-        if op is not None and not self.layer.supports_op(op):
-            return RouteDecision(Route.MPI, FallbackReason.REDUCE_OP)
-        if self.mode == DispatchMode.PURE_XCCL:
-            return RouteDecision(Route.XCCL)
-        route = self._table_for(comm).choose(coll, nbytes)
-        if route == "xccl":
-            return RouteDecision(Route.XCCL)
-        return RouteDecision(Route.MPI, FallbackReason.TUNING)
-
-    def _run(self, comm, coll: str, nbytes: int, dt, op, buffers,
-             ccl_call, mpi_call) -> None:
-        decision = self.decide(comm, coll, nbytes, dt, op, *buffers)
-        if decision.route == Route.XCCL:
-            try:
-                ccl_call()
-                self.stats.record(decision, coll)
-                return
-            except CCLError:
-                decision = RouteDecision(Route.MPI, FallbackReason.CCL_ERROR)
-        mpi_call()
-        self.stats.record(decision, coll)
-
-    # -- dispatched collectives -------------------------------------------------
+    # -- dispatched collectives: one-line descriptor constructions -----------
 
     def bcast(self, comm, buf, count, dt, root) -> None:
-        self._run(comm, "bcast", count * dt.itemsize, dt, None, (buf,),
-                  lambda: self.layer.bcast(comm, buf, count, dt, root),
-                  lambda: super(HybridDispatcher, self).bcast(
-                      comm, buf, count, dt, root))
+        self.pipeline.run(CollectiveCall(
+            "bcast", comm, recvbuf=buf, count=count, dt=dt, root=root))
 
     def reduce(self, comm, sendbuf, recvbuf, count, dt, op, root) -> None:
-        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
-        self._run(comm, "reduce", count * dt.itemsize, dt, op, bufs,
-                  lambda: self.layer.reduce(comm, sendbuf, recvbuf, count,
-                                            dt, op, root),
-                  lambda: super(HybridDispatcher, self).reduce(
-                      comm, sendbuf, recvbuf, count, dt, op, root))
+        self.pipeline.run(CollectiveCall(
+            "reduce", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt, op=op, root=root))
 
     def allreduce(self, comm, sendbuf, recvbuf, count, dt, op) -> None:
-        self._run(comm, "allreduce", count * dt.itemsize, dt, op,
-                  (sendbuf, recvbuf),
-                  lambda: self.layer.allreduce(comm, sendbuf, recvbuf,
-                                               count, dt, op),
-                  lambda: super(HybridDispatcher, self).allreduce(
-                      comm, sendbuf, recvbuf, count, dt, op))
+        self.pipeline.run(CollectiveCall(
+            "allreduce", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt, op=op))
 
     def allgather(self, comm, sendbuf, recvbuf, count, dt) -> None:
-        self._run(comm, "allgather", count * dt.itemsize, dt, None,
-                  (sendbuf, recvbuf),
-                  lambda: self.layer.allgather(comm, sendbuf, recvbuf,
-                                               count, dt),
-                  lambda: super(HybridDispatcher, self).allgather(
-                      comm, sendbuf, recvbuf, count, dt))
+        self.pipeline.run(CollectiveCall(
+            "allgather", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt))
 
     def allgatherv(self, comm, sendbuf, recvbuf, counts, displs, dt) -> None:
-        nbytes = max(counts) * dt.itemsize if counts else 0
-        self._run(comm, "allgather", nbytes, dt, None, (sendbuf, recvbuf),
-                  lambda: self.layer.allgatherv(comm, sendbuf, recvbuf,
-                                                counts, displs, dt),
-                  lambda: super(HybridDispatcher, self).allgatherv(
-                      comm, sendbuf, recvbuf, counts, displs, dt))
+        self.pipeline.run(CollectiveCall(
+            "allgatherv", comm, sendbuf=sendbuf, recvbuf=recvbuf,
+            recvcounts=counts, rdispls=displs, dt=dt))
 
     def alltoall(self, comm, sendbuf, recvbuf, count, dt) -> None:
-        self._run(comm, "alltoall", count * dt.itemsize, dt, None,
-                  (sendbuf, recvbuf),
-                  lambda: self.layer.alltoall(comm, sendbuf, recvbuf,
-                                              count, dt),
-                  lambda: super(HybridDispatcher, self).alltoall(
-                      comm, sendbuf, recvbuf, count, dt))
+        self.pipeline.run(CollectiveCall(
+            "alltoall", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt))
 
     def alltoallv(self, comm, sendbuf, sendcounts, sdispls,
                   recvbuf, recvcounts, rdispls, dt) -> None:
-        nbytes = max(sendcounts) * dt.itemsize if sendcounts else 0
-        self._run(comm, "alltoall", nbytes, dt, None, (sendbuf, recvbuf),
-                  lambda: self.layer.alltoallv(comm, sendbuf, sendcounts,
-                                               sdispls, recvbuf, recvcounts,
-                                               rdispls, dt),
-                  lambda: super(HybridDispatcher, self).alltoallv(
-                      comm, sendbuf, sendcounts, sdispls, recvbuf,
-                      recvcounts, rdispls, dt))
+        self.pipeline.run(CollectiveCall(
+            "alltoallv", comm, sendbuf=sendbuf, recvbuf=recvbuf,
+            sendcounts=sendcounts, sdispls=sdispls, recvcounts=recvcounts,
+            rdispls=rdispls, dt=dt))
 
     def gather(self, comm, sendbuf, recvbuf, count, dt, root) -> None:
-        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
-        self._run(comm, "gather", count * dt.itemsize, dt, None, bufs,
-                  lambda: self.layer.gather(comm, sendbuf, recvbuf, count,
-                                            dt, root),
-                  lambda: super(HybridDispatcher, self).gather(
-                      comm, sendbuf, recvbuf, count, dt, root))
+        self.pipeline.run(CollectiveCall(
+            "gather", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt, root=root))
 
     def gatherv(self, comm, sendbuf, recvbuf, counts, displs, dt, root) -> None:
-        bufs = (sendbuf, recvbuf) if comm.rank == root else (sendbuf,)
-        nbytes = max(counts) * dt.itemsize if counts else 0
-        self._run(comm, "gather", nbytes, dt, None, bufs,
-                  lambda: self.layer.gatherv(comm, sendbuf, recvbuf, counts,
-                                             displs, dt, root),
-                  lambda: super(HybridDispatcher, self).gatherv(
-                      comm, sendbuf, recvbuf, counts, displs, dt, root))
+        self.pipeline.run(CollectiveCall(
+            "gatherv", comm, sendbuf=sendbuf, recvbuf=recvbuf,
+            recvcounts=counts, rdispls=displs, dt=dt, root=root))
 
     def scatter(self, comm, sendbuf, recvbuf, count, dt, root) -> None:
-        bufs = (sendbuf, recvbuf) if comm.rank == root else (recvbuf,)
-        self._run(comm, "scatter", count * dt.itemsize, dt, None, bufs,
-                  lambda: self.layer.scatter(comm, sendbuf, recvbuf, count,
-                                             dt, root),
-                  lambda: super(HybridDispatcher, self).scatter(
-                      comm, sendbuf, recvbuf, count, dt, root))
+        self.pipeline.run(CollectiveCall(
+            "scatter", comm, sendbuf=sendbuf, recvbuf=recvbuf, count=count,
+            dt=dt, root=root))
 
     def scatterv(self, comm, sendbuf, counts, displs, recvbuf, dt, root) -> None:
-        bufs = (sendbuf, recvbuf) if comm.rank == root else (recvbuf,)
-        nbytes = max(counts) * dt.itemsize if counts else 0
-        self._run(comm, "scatter", nbytes, dt, None, bufs,
-                  lambda: self.layer.scatterv(comm, sendbuf, counts, displs,
-                                              recvbuf, dt, root),
-                  lambda: super(HybridDispatcher, self).scatterv(
-                      comm, sendbuf, counts, displs, recvbuf, dt, root))
+        self.pipeline.run(CollectiveCall(
+            "scatterv", comm, sendbuf=sendbuf, recvbuf=recvbuf,
+            sendcounts=counts, sdispls=displs, dt=dt, root=root))
 
     def reduce_scatter_block(self, comm, sendbuf, recvbuf, count, dt, op) -> None:
-        self._run(comm, "reduce_scatter", count * dt.itemsize, dt, op,
-                  (sendbuf, recvbuf),
-                  lambda: self.layer.reduce_scatter_block(
-                      comm, sendbuf, recvbuf, count, dt, op),
-                  lambda: super(HybridDispatcher, self).reduce_scatter_block(
-                      comm, sendbuf, recvbuf, count, dt, op))
+        self.pipeline.run(CollectiveCall(
+            "reduce_scatter_block", comm, sendbuf=sendbuf, recvbuf=recvbuf,
+            count=count, dt=dt, op=op))

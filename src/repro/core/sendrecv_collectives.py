@@ -4,6 +4,10 @@ The CCL APIs provide only five collectives; everything else is built
 from group calls and point-to-point primitives.  Listing 1 of the paper
 shows the AlltoAllv — :func:`xccl_alltoallv` is that code, line for
 line, against the unified API.  The others follow the same pattern.
+These functions are the *fused sendrecv-group* executors of the
+dispatch registry (:data:`repro.core.dispatch.REGISTRY`): the
+pipeline's execute stage calls them when a collective without a direct
+§3.2 mapping routes to the CCL.
 
 The *symmetric* exchanges (alltoall(v), allgatherv — every rank both
 sends and receives) open their group with the communicator hint

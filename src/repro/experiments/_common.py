@@ -2,18 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.hw.systems import make_system
-from repro.mpi.config import MPIConfig, mvapich_gpu, openmpi_ucx
+from repro.mpi.config import mvapich_gpu, openmpi_ucx
 from repro.omb.collective import COLLECTIVE_BENCHMARKS
 from repro.omb.harness import OMBConfig
 from repro.omb.stacks import make_stack, series_label
-from repro.perfmodel import ccl_models, mpi_models, ccl_params
-from repro.perfmodel.shape import CommShape, shape_of
+from repro.perfmodel import ccl_models, mpi_models
+from repro.perfmodel.shape import shape_of
 from repro.sim.engine import Engine
 from repro.util.records import ResultRecord, ResultSet
-from repro.util.sizes import DEFAULT_OMB_SIZES, power_of_two_sizes
+from repro.util.sizes import DEFAULT_OMB_SIZES
 
 #: quick-scale sweep for tests: a handful of sizes, few iterations.
 QUICK_SIZES = (16, 1024, 65536, 1048576)

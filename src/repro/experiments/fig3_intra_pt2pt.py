@@ -12,7 +12,6 @@ from typing import Dict, Tuple
 from repro.experiments._common import omb_config, value_near
 from repro.experiments.registry import AnchorCheck, Experiment, register
 from repro.hw.systems import make_system
-from repro.omb.harness import OMBConfig
 from repro.omb.pt2pt import osu_bibw, osu_bw, osu_latency
 from repro.sim.engine import Engine
 from repro.util.records import ResultRecord, ResultSet

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.registry import Experiment, all_experiments
 from repro.util.records import ResultSet

@@ -25,72 +25,106 @@ read-only view instead of defensive snapshot, pooled reduction
 accumulators, and vectorized reduction kernels.  Same contract again —
 payloads and virtual times are bit-identical with the gate on or off;
 only simulator wall-clock (and allocator traffic) changes.
+
+All three gates live in one registry (:data:`GATE_ENV`) keyed by the
+dispatch-pipeline stage they toggle, and are queried through the single
+:func:`gate_enabled` choke point.  :func:`configure` flips any subset
+and returns the previous states (restore with ``configure(**prev)``);
+:func:`snapshot` returns gate states plus the per-stage counters in
+:data:`STATS` — what ``mpix-omb --stats`` prints.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import Dict
+from typing import Dict, Optional
 
 _FALSY = {"0", "false", "off", "no", ""}
 
-
-def _env_enabled() -> bool:
-    return os.environ.get("MPIX_PLAN_CACHE", "1").strip().lower() not in _FALSY
-
-
-def _env_fusion_enabled() -> bool:
-    return os.environ.get("MPIX_GROUP_FUSION", "1").strip().lower() not in _FALSY
-
-
-def _env_zero_copy_enabled() -> bool:
-    return os.environ.get("MPIX_ZERO_COPY", "1").strip().lower() not in _FALSY
+#: pipeline-stage gate -> controlling environment variable.  This table
+#: is the single registry of fast-path toggles; every gate is queried
+#: through :func:`gate_enabled` and flipped through :func:`configure`
+#: (the ``set_*`` helpers below are thin historical aliases).
+GATE_ENV: Dict[str, str] = {
+    "plan_cache": "MPIX_PLAN_CACHE",       # plan lookup stage
+    "group_fusion": "MPIX_GROUP_FUSION",   # fused sendrecv-group transport
+    "zero_copy": "MPIX_ZERO_COPY",         # payload handoff by view
+}
 
 
-_enabled = _env_enabled()
-_fusion_enabled = _env_fusion_enabled()
-_zero_copy_enabled = _env_zero_copy_enabled()
+def _env_gate(var: str) -> bool:
+    return os.environ.get(var, "1").strip().lower() not in _FALSY
+
+
+_gates: Dict[str, bool] = {name: _env_gate(var)
+                           for name, var in GATE_ENV.items()}
+
+
+def gate_enabled(name: str) -> bool:
+    """Whether the named pipeline-stage gate is on (the one choke point
+    every fast path queries)."""
+    return _gates[name]
+
+
+def gates() -> Dict[str, bool]:
+    """A copy of the current gate states."""
+    return dict(_gates)
+
+
+def configure(plan_cache: Optional[bool] = None,
+              group_fusion: Optional[bool] = None,
+              zero_copy: Optional[bool] = None) -> Dict[str, bool]:
+    """Set any subset of the fast-path gates at once.
+
+    Returns the *previous* state of every gate, so a caller can restore
+    with ``fastpath.configure(**prev)`` — the idiom the A/B benchmarks
+    and the gate-combination parity tests use.
+    """
+    prev = gates()
+    for name, flag in (("plan_cache", plan_cache),
+                       ("group_fusion", group_fusion),
+                       ("zero_copy", zero_copy)):
+        if flag is not None:
+            _gates[name] = bool(flag)
+    return prev
+
+
+def snapshot() -> Dict[str, Dict]:
+    """One consistent view of the whole fast path: gate states plus the
+    per-stage counters (surfaced by ``mpix-omb --stats``)."""
+    return {"gates": gates(), "counters": STATS.snapshot()}
 
 
 def plans_enabled() -> bool:
     """Whether the plan cache / memoization fast path is active."""
-    return _enabled
+    return _gates["plan_cache"]
 
 
 def set_plans_enabled(flag: bool) -> bool:
     """Flip the fast path on or off; returns the previous setting."""
-    global _enabled
-    prev = _enabled
-    _enabled = bool(flag)
-    return prev
+    return configure(plan_cache=flag)["plan_cache"]
 
 
 def fusion_enabled() -> bool:
     """Whether the fused group-call transport is active."""
-    return _fusion_enabled
+    return _gates["group_fusion"]
 
 
 def set_fusion_enabled(flag: bool) -> bool:
     """Flip group fusion on or off; returns the previous setting."""
-    global _fusion_enabled
-    prev = _fusion_enabled
-    _fusion_enabled = bool(flag)
-    return prev
+    return configure(group_fusion=flag)["group_fusion"]
 
 
 def zero_copy_enabled() -> bool:
     """Whether the zero-copy datapath is active."""
-    return _zero_copy_enabled
+    return _gates["zero_copy"]
 
 
 def set_zero_copy_enabled(flag: bool) -> bool:
     """Flip the zero-copy datapath on or off; returns the previous
     setting."""
-    global _zero_copy_enabled
-    prev = _zero_copy_enabled
-    _zero_copy_enabled = bool(flag)
-    return prev
+    return configure(zero_copy=flag)["zero_copy"]
 
 
 class PlanStats:
@@ -117,6 +151,12 @@ class PlanStats:
         self.copies_elided = 0      # payload snapshots handed off as views
         self.copies_forced = 0      # copy-on-write escapes (aliasing, faults)
         self.accumulator_reuses = 0  # reduction/staging scratch from the pool
+        #: dispatch-pipeline counters (execute stage, all routes):
+        self.dispatch_calls = 0     # collectives pushed through the pipeline
+        self.route_xccl = 0         # execute stage took the CCL route
+        self.route_mpi = 0          # execute stage ran an MPI algorithm
+        self.route_fallbacks = 0    # capability fallbacks (§3.2), not tuning
+        self.ccl_errors = 0         # runtime CCL errors rescued by MPI
 
     def note_hit(self, n: int = 1) -> None:
         """Record ``n`` plan-cache hits."""
@@ -170,6 +210,20 @@ class PlanStats:
         with self._lock:
             self.accumulator_reuses += 1
 
+    def note_dispatch(self, xccl: bool, fallback: bool = False,
+                      ccl_error: bool = False) -> None:
+        """Record one collective leaving the pipeline's execute stage."""
+        with self._lock:
+            self.dispatch_calls += 1
+            if xccl:
+                self.route_xccl += 1
+            else:
+                self.route_mpi += 1
+                if fallback:
+                    self.route_fallbacks += 1
+                if ccl_error:
+                    self.ccl_errors += 1
+
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
         with self._lock:
@@ -178,6 +232,8 @@ class PlanStats:
             self.fusion_exchanges = self.fusion_fallbacks = 0
             self.copies_elided = self.copies_forced = 0
             self.accumulator_reuses = 0
+            self.dispatch_calls = self.route_xccl = self.route_mpi = 0
+            self.route_fallbacks = self.ccl_errors = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A consistent copy of the counters."""
@@ -191,7 +247,12 @@ class PlanStats:
                     "fusion_fallbacks": self.fusion_fallbacks,
                     "copies_elided": self.copies_elided,
                     "copies_forced": self.copies_forced,
-                    "accumulator_reuses": self.accumulator_reuses}
+                    "accumulator_reuses": self.accumulator_reuses,
+                    "dispatch_calls": self.dispatch_calls,
+                    "route_xccl": self.route_xccl,
+                    "route_mpi": self.route_mpi,
+                    "route_fallbacks": self.route_fallbacks,
+                    "ccl_errors": self.ccl_errors}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.snapshot()

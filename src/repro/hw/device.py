@@ -8,7 +8,7 @@ model used by the reduction kernels and the DL compute model.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

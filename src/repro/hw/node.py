@@ -7,13 +7,13 @@ the actual link segments rather than guessing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import networkx as nx
 
 from repro.errors import TopologyError
 from repro.hw.device import Accelerator, HostCPU
-from repro.hw.links import HOST_MEMCPY, LinkKind, LinkModel
+from repro.hw.links import HOST_MEMCPY, LinkModel
 
 
 class Node:

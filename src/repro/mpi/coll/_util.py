@@ -7,7 +7,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro import fastpath
-from repro.hw.memory import Buffer, as_array, is_device_buffer
+from repro.hw.memory import Buffer, as_array
 from repro.mpi.communicator import IN_PLACE
 
 

@@ -14,9 +14,7 @@ from __future__ import annotations
 from repro.mpi.coll._util import (
     chunk_bounds, is_inplace, largest_pof2_below, materialize_input, seg,
 )
-from repro.mpi.compute import (
-    acquire_staging, apply_reduce, local_copy, release_staging,
-)
+from repro.mpi.compute import acquire_staging, apply_reduce, release_staging
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 

@@ -7,9 +7,7 @@ volume at the cost of more rounds (Rabenseifner's reduce).
 
 from __future__ import annotations
 
-from repro.mpi.coll._util import (
-    arr_of, chunk_bounds, is_inplace, materialize_input, seg,
-)
+from repro.mpi.coll._util import (chunk_bounds, is_inplace, materialize_input, seg)
 from repro.mpi.compute import (
     acquire_staging, apply_reduce, local_copy, release_staging,
 )

@@ -13,7 +13,7 @@ bandwidth-optimal rings/pairwise above.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro import fastpath

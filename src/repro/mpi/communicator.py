@@ -13,9 +13,8 @@ fail.
 from __future__ import annotations
 
 import itertools
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.errors import MPICommError, MPICountError, MPIRankError
 from repro.hw.memory import as_array

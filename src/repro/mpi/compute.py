@@ -9,14 +9,12 @@ as device kernels at HBM bandwidth.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro import fastpath
-from repro.hw.memory import Buffer, DeviceBuffer, as_array, is_device_buffer
+from repro.hw.memory import as_array, is_device_buffer
 from repro.mpi.config import MPIConfig
-from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op
 from repro.sim.engine import RankContext
 

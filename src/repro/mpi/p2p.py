@@ -42,7 +42,7 @@ import numpy as np
 from repro import fastpath
 from repro.errors import MPIRankError, MPITruncateError
 from repro.hw.cluster import PathScope
-from repro.hw.memory import Buffer, as_array, borrow_view, is_device_buffer
+from repro.hw.memory import as_array, borrow_view, is_device_buffer
 from repro.mpi.config import MPIConfig
 from repro.mpi.datatypes import Datatype, datatype_of
 from repro.mpi.request import Request

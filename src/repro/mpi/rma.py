@@ -13,7 +13,7 @@ MPI model: RMA operations issued in an epoch are guaranteed complete
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -13,6 +13,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import fastpath
 from repro.hw.systems import make_system, system_names
 from repro.hw.vendors import default_ccl_for
 from repro.omb.collective import COLLECTIVE_BENCHMARKS
@@ -24,6 +25,22 @@ from repro.util.sizes import format_size, parse_size, power_of_two_sizes
 from repro.util.tables import ascii_table, omb_header
 
 PT2PT = {"latency": osu_latency, "bw": osu_bw, "bibw": osu_bibw}
+
+
+def format_stats(snap: dict) -> str:
+    """Render a :func:`repro.fastpath.snapshot` for ``--stats``.
+
+    Counters are reset before the sweep, so the numbers cover exactly
+    one benchmark run.
+    """
+    gates = ", ".join(f"{name}={'on' if on else 'off'}"
+                      for name, on in sorted(snap["gates"].items()))
+    lines = [f"# Fast-path gates: {gates}"]
+    counters = snap["counters"]
+    lines.append(ascii_table(
+        ["Counter", "Value"],
+        [[name, counters[name]] for name in sorted(counters)]))
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -45,6 +62,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="MIN:MAX sweep, e.g. 4:4M")
     parser.add_argument("--iterations", type=int, default=10)
     parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument("--stats", action="store_true",
+                        help="print the fast-path gate states and "
+                        "per-stage dispatch counters after the sweep")
 
     args = parser.parse_args(argv)
     lo, hi = (parse_size(p) for p in args.sizes.split(":"))
@@ -58,11 +78,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nranks = args.ranks or 2
         engine = Engine(cluster, nranks=nranks,
                         ranks_per_node=args.ranks_per_node)
+        if args.stats:
+            fastpath.STATS.reset()
         data = engine.run(lambda ctx: bench(ctx, backend, config))[0]
         unit = "Latency (us)" if args.benchmark == "latency" else "Bandwidth (MB/s)"
         print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks))
         print(ascii_table(["Size", unit],
                           [[format_size(s), v] for s, v in sorted(data.items())]))
+        if args.stats:
+            print(format_stats(fastpath.snapshot()))
         return 0
 
     bench = COLLECTIVE_BENCHMARKS[args.benchmark]
@@ -74,6 +98,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     def body(ctx):
         return bench(ctx, make_stack(ctx, args.stack, backend), config)
 
+    if args.stats:
+        fastpath.STATS.reset()
     stats = engine.run(body)[0]
     print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks,
                      extra=f"Stack: {args.stack}"))
@@ -81,6 +107,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
         [[format_size(s), st.avg_us, st.min_us, st.max_us]
          for s, st in sorted(stats.items())]))
+    if args.stats:
+        print(format_stats(fastpath.snapshot()))
     return 0
 
 

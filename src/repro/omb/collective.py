@@ -15,7 +15,6 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.baselines.pure_ccl import PureCCLHarness
-from repro.mpi.communicator import Communicator
 from repro.mpi.datatypes import FLOAT
 from repro.mpi.ops import SUM
 from repro.omb.harness import LatencyStats, OMBConfig, aggregate_latency, timed_loop

@@ -10,7 +10,6 @@ harness uses whenever the system under test is Habana-based.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 

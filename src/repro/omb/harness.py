@@ -9,8 +9,8 @@ region in real OMB too).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.sim.engine import RankContext
 from repro.util.sizes import DEFAULT_OMB_SIZES

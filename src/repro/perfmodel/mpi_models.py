@@ -12,7 +12,6 @@ All sizes are wire bytes; returns are microseconds per operation.
 from __future__ import annotations
 
 import functools
-import math
 
 from repro import fastpath
 from repro.errors import ConfigError

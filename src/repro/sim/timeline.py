@@ -10,7 +10,7 @@ stalls, ring step ladders, CCL launch gaps).
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.sim.tracing import Trace
 

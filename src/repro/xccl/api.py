@@ -18,7 +18,7 @@ from typing import Optional, Sequence, Union
 from repro.errors import CCLInvalidUsage
 from repro.hw.stream import Stream
 from repro.mpi.datatypes import Datatype
-from repro.mpi.ops import Op, SUM
+from repro.mpi.ops import Op
 from repro.sim.engine import RankContext
 from repro.xccl import backend as _backend_mod
 from repro.xccl.backend import CCLBackend

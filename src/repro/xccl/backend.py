@@ -40,7 +40,7 @@ from repro.errors import (
     CCLUnsupportedOperation,
 )
 from repro.hw.cluster import PathScope
-from repro.hw.memory import as_array, borrow_view, is_device_buffer
+from repro.hw.memory import as_array, borrow_view
 from repro.hw.vendors import Vendor
 from repro.mpi.datatypes import Datatype
 from repro.mpi.ops import Op

@@ -20,9 +20,8 @@ validate interpreted schedules against the built-in collectives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.errors import CCLInvalidUsage
 from repro.hw.memory import as_array

@@ -1,7 +1,6 @@
 """Baselines: Open MPI + UCX, UCC, pure-CCL harness."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.openmpi import openmpi_communicator
 from repro.baselines.pure_ccl import PureCCLHarness

@@ -4,11 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.abstraction import XCCLAbstractionLayer
-from repro.core.runtime import run
-from repro.errors import CCLBackendUnavailable
 from repro.mpi import DOUBLE_COMPLEX, FLOAT, SUM, Communicator
 from repro.mpi.ops import user_op
-from repro.sim.engine import run_spmd
 
 
 class TestBackendResolution:

@@ -1,11 +1,10 @@
 """The hybrid dispatcher: routing decisions, fallbacks, data paths."""
 
 import numpy as np
-import pytest
 
 from repro.core import DispatchMode, run
 from repro.core.fallback import FallbackReason, Route
-from repro.mpi import DOUBLE_COMPLEX, SUM
+from repro.mpi import SUM
 from repro.mpi.ops import user_op
 
 KIB = 1024

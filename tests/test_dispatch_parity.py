@@ -1,0 +1,296 @@
+"""Dispatch-pipeline parity: every collective, backend, and gate combo.
+
+The staged pipeline (`repro.core.dispatch`) replaced the hand-written
+per-collective method triplets; these tests pin the refactor's
+contract:
+
+* all 12 collectives × {NCCL, RCCL, HCCL, MSCCL} × all 8 combinations
+  of the three fast-path gates produce bit-identical payloads AND
+  virtual times — the all-gates-off combo is the direct, unoptimized
+  path, so every other combo is compared against it;
+* the MPI-algorithm fallback route (PURE_MPI mode) holds the same
+  invariant;
+* the §3.2 capability checks live in exactly one place
+  (``CollectivePipeline.capability``) and still produce the paper's
+  fallbacks: HCCL is float-only, no CCL does double-complex.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.core import DispatchMode, runtime
+from repro.core.dispatch import REGISTRY, CollectivePipeline
+from repro.core.fallback import FallbackReason, Route
+from repro.mpi.ops import SUM
+
+#: (system, backend, ranks) — one per CCL the paper ports.  Single-node
+#: runs are exactly reproducible, which is what makes bit-comparison
+#: valid.
+STACKS = [
+    ("thetagpu", None, 4),      # NCCL
+    ("mri", None, 2),           # RCCL
+    ("voyager", None, 4),       # HCCL
+    ("thetagpu", "msccl", 4),   # MSCCL
+]
+
+#: all 8 combinations of (plan_cache, group_fusion, zero_copy).
+GATE_COMBOS = list(itertools.product([False, True], repeat=3))
+
+N = 13  # odd per-rank count exercises uneven chunk geometry
+
+
+def _vec_geometry(p):
+    counts = [r + 1 for r in range(p)]
+    displs = [sum(counts[:r]) for r in range(p)]
+    return counts, displs
+
+
+def _twelve_collectives_body(mpx):
+    """Run all 12 registry collectives once; record payload bytes and
+    the virtual clock after each."""
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    p, rank = comm.size, comm.rank
+    log = []
+
+    def snap(buf):
+        log.append((buf.array.tobytes(), ctx.now))
+
+    base = np.arange(N * p, dtype=np.float32) + rank
+    send = ctx.device.zeros(N * p, dtype=np.float32)
+    send.array[:] = base
+    recv = ctx.device.zeros(N * p, dtype=np.float32)
+
+    comm.Allreduce(send.view(0, N), recv.view(0, N), SUM)
+    snap(recv)
+    comm.Bcast(recv.view(0, N), root=0)
+    snap(recv)
+    comm.Reduce(send.view(0, N), recv.view(0, N), SUM, 0)
+    snap(recv)
+    comm.Allgather(send.view(0, N), recv.view(0, N * p))
+    snap(recv)
+    comm.Alltoall(send, recv)
+    snap(recv)
+    comm.Reduce_scatter_block(send, recv.view(0, N), SUM)
+    snap(recv)
+    comm.Gather(send.view(0, N), recv.view(0, N * p), root=0)
+    snap(recv)
+    comm.Scatter(send, recv.view(0, N), root=0)
+    snap(recv)
+
+    counts, displs = _vec_geometry(p)
+    total = sum(counts)
+    vsend = ctx.device.zeros(counts[rank], dtype=np.float32)
+    vsend.array[:] = rank * 10.0 + np.arange(counts[rank])
+    vrecv = ctx.device.zeros(total, dtype=np.float32)
+    comm.Allgatherv(vsend, vrecv, counts)
+    snap(vrecv)
+    comm.Gatherv(vsend, vrecv, counts, root=0)
+    snap(vrecv)
+    vroot = ctx.device.zeros(total, dtype=np.float32)
+    vroot.array[:] = np.arange(total, dtype=np.float32)
+    comm.Scatterv(vroot, counts, vrecv.view(0, counts[rank]), root=0)
+    snap(vrecv)
+
+    a2a_counts = [((rank + r) % 3) + 1 for r in range(p)]
+    a2a_displs = [sum(a2a_counts[:r]) for r in range(p)]
+    asend = ctx.device.zeros(sum(a2a_counts), dtype=np.float32)
+    asend.array[:] = rank * 100.0 + np.arange(sum(a2a_counts))
+    arecv = ctx.device.zeros(sum(a2a_counts), dtype=np.float32)
+    comm.Alltoallv(asend, a2a_counts, arecv, a2a_counts)
+    snap(arecv)
+
+    return log
+
+
+def _run_under_gates(combo, body, **kw):
+    prev = fastpath.configure(plan_cache=combo[0], group_fusion=combo[1],
+                              zero_copy=combo[2])
+    try:
+        return runtime.run(body, nodes=1, **kw)
+    finally:
+        fastpath.configure(**prev)
+
+
+def _assert_bit_identical(baseline, candidate, combo, nranks):
+    assert len(baseline) == len(candidate) == nranks
+    for rank, (a, b) in enumerate(zip(baseline, candidate)):
+        assert len(a) == len(b) == 12
+        for i, ((data_a, t_a), (data_b, t_b)) in enumerate(zip(a, b)):
+            assert data_a == data_b, \
+                f"gates={combo}: rank {rank} payload {i} differs"
+            assert t_a == t_b, \
+                f"gates={combo}: rank {rank} clock after op {i} differs"
+
+
+def test_registry_covers_all_twelve():
+    """The dispatch registry is exactly the 12 routed collectives."""
+    assert sorted(REGISTRY) == sorted([
+        "allgather", "allgatherv", "allreduce", "alltoall", "alltoallv",
+        "bcast", "gather", "gatherv", "reduce", "reduce_scatter_block",
+        "scatter", "scatterv"])
+    for name, spec in REGISTRY.items():
+        assert spec.name == name
+        assert callable(spec.ccl) and callable(spec.mpi)
+
+
+@pytest.mark.parametrize("system,backend,nranks", STACKS,
+                         ids=[f"{s}-{b or 'native'}" for s, b, _ in STACKS])
+def test_all_collectives_all_gates_bit_identical_ccl(system, backend, nranks):
+    """12 collectives through the CCL route: payloads and virtual times
+    bit-identical across all 8 gate combinations (all-off == the
+    pre-refactor direct path)."""
+    results = {}
+    for combo in GATE_COMBOS:
+        results[combo] = _run_under_gates(
+            combo, _twelve_collectives_body, system=system,
+            ranks_per_node=nranks, backend=backend,
+            mode=DispatchMode.PURE_XCCL)
+    baseline = results[(False, False, False)]
+    for combo in GATE_COMBOS[1:]:
+        _assert_bit_identical(baseline, results[combo], combo, nranks)
+
+
+def test_all_collectives_all_gates_bit_identical_mpi_fallback():
+    """The same invariant on the MPI-algorithm fallback route."""
+    results = {}
+    for combo in GATE_COMBOS:
+        results[combo] = _run_under_gates(
+            combo, _twelve_collectives_body, system="thetagpu",
+            ranks_per_node=4, mode=DispatchMode.PURE_MPI)
+    baseline = results[(False, False, False)]
+    for combo in GATE_COMBOS[1:]:
+        _assert_bit_identical(baseline, results[combo], combo, 4)
+
+
+def test_ccl_and_mpi_routes_agree_on_payloads():
+    """Both execute routes compute the same collectives: payload bytes
+    (not times) must agree between PURE_XCCL and PURE_MPI."""
+    xccl = runtime.run(_twelve_collectives_body, system="thetagpu", nodes=1,
+                       ranks_per_node=4, mode=DispatchMode.PURE_XCCL)
+    mpi = runtime.run(_twelve_collectives_body, system="thetagpu", nodes=1,
+                      ranks_per_node=4, mode=DispatchMode.PURE_MPI)
+    for rank, (a, b) in enumerate(zip(xccl, mpi)):
+        for i, ((data_a, _), (data_b, _)) in enumerate(zip(a, b)):
+            assert data_a == data_b, f"rank {rank} payload {i} differs"
+
+
+class TestCapabilityChecksInOnePlace:
+    """§3.2 regressions: the datatype/op gate is asserted once, in
+    ``CollectivePipeline.capability``, for every backend."""
+
+    @pytest.mark.parametrize("system,backend", [
+        ("thetagpu", None),     # NCCL
+        ("mri", None),          # RCCL
+        ("voyager", None),      # HCCL
+        ("thetagpu", "msccl"),  # MSCCL
+    ], ids=["nccl", "rccl", "hccl", "msccl"])
+    def test_double_complex_falls_back_everywhere(self, system, backend):
+        """No CCL has complex support: DOUBLE_COMPLEX must fall back on
+        every backend (heFFTe's case in the paper)."""
+        from repro.mpi.datatypes import DOUBLE_COMPLEX
+
+        def body(mpx):
+            comm = mpx.COMM_WORLD
+            buf = mpx.device_array(8, dtype=np.complex128)
+            d = comm.coll.decide(comm, "allreduce", 4 << 20, DOUBLE_COMPLEX,
+                                 SUM, buf)
+            return (d.route, d.reason)
+
+        out = runtime.run(body, system=system, nodes=1, ranks_per_node=2,
+                          backend=backend)[0]
+        assert out == (Route.MPI, FallbackReason.DATATYPE)
+
+    def test_hccl_is_float_only(self):
+        """HCCL supports only float32 (paper §3.2): float64 falls back
+        on HCCL but stays on the CCL route for the NCCL family."""
+        from repro.mpi.datatypes import DOUBLE
+
+        def body(mpx):
+            comm = mpx.COMM_WORLD
+            buf = mpx.device_array(8, dtype=np.float64)
+            d = comm.coll.decide(comm, "allreduce", 4 << 20, DOUBLE, SUM, buf)
+            return (d.route, d.reason)
+
+        hccl = runtime.run(body, system="voyager", nodes=1,
+                           ranks_per_node=2)[0]
+        assert hccl == (Route.MPI, FallbackReason.DATATYPE)
+        nccl = runtime.run(body, system="thetagpu", nodes=1,
+                           ranks_per_node=2)[0]
+        assert nccl == (Route.XCCL, FallbackReason.NONE)
+
+    def test_fallback_still_computes_correctly(self):
+        """A capability fallback runs the MPI algorithms and produces
+        the right numbers (silent fallback, §1.2 advantage 3)."""
+        def body(mpx):
+            comm = mpx.COMM_WORLD
+            z = mpx.device_array(64, dtype=np.complex128, fill=1 + 1j)
+            out = mpx.device_array(64, dtype=np.complex128)
+            comm.Allreduce(z, out, SUM)
+            return (out.array[0], mpx.route_stats.total_fallbacks)
+
+        value, fallbacks = runtime.run(body, system="voyager", nodes=1,
+                                       ranks_per_node=4)[0]
+        assert value == 4 * (1 + 1j)
+        assert fallbacks == 1
+
+    def test_capability_is_the_single_choke_point(self):
+        """Structural pin: neither adapter re-states the §3.2 chain —
+        the only references to the capability tables on the routing
+        path are in ``CollectivePipeline.capability``."""
+        import inspect
+
+        from repro.core import abstraction, hybrid
+        cap = inspect.getsource(CollectivePipeline.capability)
+        assert "supports_datatype" in cap and "supports_op" in cap
+        for module in (hybrid,):
+            src = inspect.getsource(module)
+            assert "supports_datatype" not in src
+            assert "supports_op" not in src
+        # the layer only *defines* the delegating helpers the pipeline
+        # calls; it never walks the chain itself
+        src = inspect.getsource(abstraction)
+        assert src.count("supports_datatype") == 2  # def + backend delegate
+        assert src.count("supports_op") == 2
+
+
+def test_dispatch_stage_counters():
+    """The execute stage reports route decisions into fastpath.STATS."""
+    def body(mpx):
+        comm = mpx.COMM_WORLD
+        small = mpx.device_array(16)
+        big = mpx.device_array(1 << 20)
+        comm.Allreduce(small, mpx.device_array(16), SUM)     # mpi (tuning)
+        comm.Allreduce(big, mpx.device_array(1 << 20), SUM)  # xccl
+        z = mpx.device_array(16, dtype=np.complex128)
+        comm.Allreduce(z, mpx.device_array(16, dtype=np.complex128),
+                       SUM)                                  # mpi (datatype)
+        return True
+
+    fastpath.STATS.reset()
+    runtime.run(body, system="thetagpu", nodes=1, ranks_per_node=4)
+    snap = fastpath.snapshot()
+    assert set(snap) == {"gates", "counters"}
+    counters = snap["counters"]
+    assert counters["dispatch_calls"] == 3 * 4
+    assert counters["route_xccl"] == 4
+    assert counters["route_mpi"] == 2 * 4
+    assert counters["route_fallbacks"] == 4
+    assert counters["ccl_errors"] == 0
+
+
+def test_configure_restores():
+    """fastpath.configure returns the previous states and restores."""
+    before = fastpath.gates()
+    prev = fastpath.configure(plan_cache=False, zero_copy=False)
+    assert prev == before
+    assert not fastpath.plans_enabled()
+    assert not fastpath.zero_copy_enabled()
+    assert fastpath.fusion_enabled() == before["group_fusion"]
+    fastpath.configure(**prev)
+    assert fastpath.gates() == before

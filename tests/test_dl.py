@@ -1,10 +1,9 @@
 """DL substrate: models, compute model, Horovod fusion, trainer."""
 
-import numpy as np
 import pytest
 
-from repro.dl.compute import ComputeModel, compute_model_for
-from repro.dl.horovod import DistributedOptimizer, HorovodConfig, build_buckets
+from repro.dl.compute import compute_model_for
+from repro.dl.horovod import HorovodConfig, build_buckets
 from repro.dl.models import resnet50, tiny_mlp, vgg16
 from repro.dl.presets import horovod_preset
 from repro.dl.trainer import project_throughput, train

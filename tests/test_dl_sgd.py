@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dl.sgd import MLP, make_dataset, train_data_parallel, train_reference
-from repro.errors import ConfigError, RankFailedError
+from repro.errors import RankFailedError
 from repro.omb.stacks import make_stack
 from repro.sim.engine import Engine
 

@@ -1,6 +1,5 @@
 """MPIX_* environment configuration."""
 
-import numpy as np
 import pytest
 
 from repro.config import EnvDefaults, apply_env, from_env

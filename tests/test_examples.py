@@ -1,7 +1,6 @@
 """The shipped examples run end to end (smoke + output checks)."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

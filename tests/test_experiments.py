@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.experiments import all_experiments, get_experiment, run_experiment
-from repro.experiments.registry import AnchorCheck, Experiment
+from repro.experiments.registry import AnchorCheck
 from repro.experiments.report import experiment_report
 from repro.util.records import ResultSet
 

@@ -9,7 +9,7 @@ without modification.
 import numpy as np
 import pytest
 
-from repro.core import DispatchMode, run
+from repro.core import run
 from repro.dl import horovod_preset, train
 from repro.dl.models import tiny_mlp
 from repro.hw.systems import make_system

@@ -1,6 +1,5 @@
 """Failure injection: dropped/delayed messages, dying ranks, CCL errors."""
 
-import numpy as np
 import pytest
 
 from repro.core.abstraction import XCCLAbstractionLayer

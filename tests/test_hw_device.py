@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw.device import Accelerator, HostCPU
+from repro.hw.device import HostCPU
 from repro.hw.systems import mri, thetagpu, voyager
 from repro.hw.vendors import COMPATIBLE_CCLS, Vendor, default_ccl_for
 

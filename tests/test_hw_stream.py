@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StreamError
-from repro.hw.stream import Event, Stream
+from repro.hw.stream import Event
 from repro.hw.systems import thetagpu
 
 

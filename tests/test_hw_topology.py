@@ -4,15 +4,7 @@ import pytest
 
 from repro.errors import ConfigError, TopologyError
 from repro.hw.cluster import PathScope
-from repro.hw.links import (
-    ETH_400G,
-    GAUDI_ROCE,
-    IB_HDR,
-    NVSWITCH,
-    PCIE_MRI,
-    LinkModel,
-    LinkKind,
-)
+from repro.hw.links import IB_HDR, NVSWITCH, PCIE_MRI, LinkModel, LinkKind
 from repro.hw.systems import TABLE1, make_system, mri, system_names, thetagpu, voyager
 
 

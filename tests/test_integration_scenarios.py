@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DispatchMode, run
+from repro.core import run
 from repro.mpi import DOUBLE, FLOAT, SUM, vector
 from repro.mpi.cart import CartComm
 from repro.mpi.rma import Win

@@ -1,7 +1,6 @@
 """Coverage for the smaller surfaces: errors, requests, configs,
 new OMB benches, compression knob."""
 
-import numpy as np
 import pytest
 
 from repro import errors
@@ -9,8 +8,8 @@ from repro.dl import HorovodConfig, train
 from repro.dl.models import tiny_mlp
 from repro.hw.cluster import PathScope
 from repro.hw.systems import make_system
-from repro.mpi import Communicator, Request, Status
-from repro.mpi.config import MPIConfig, host_staged, mvapich_gpu, openmpi_ucx
+from repro.mpi import Request, Status
+from repro.mpi.config import host_staged, mvapich_gpu, openmpi_ucx
 from repro.mpi.request import waitall, waitany
 from repro.omb.collective import osu_barrier, osu_gather, osu_scatter
 from repro.omb.harness import OMBConfig

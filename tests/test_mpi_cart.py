@@ -1,6 +1,5 @@
 """Cartesian topologies: dims_create, coordinates, shifts, sub-grids."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

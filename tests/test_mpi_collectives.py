@@ -12,7 +12,6 @@ from repro.mpi import MAX, PROD, SUM, Communicator
 from repro.mpi.coll import MPICollDispatcher
 from repro.mpi.communicator import IN_PLACE
 from repro.mpi.ops import user_op
-from repro.sim.engine import run_spmd
 
 RANK_COUNTS = [2, 3, 4, 7, 8]
 

@@ -6,11 +6,10 @@ but each exercises a full SPMD execution.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw.systems import make_system
-from repro.mpi import MAX, MIN, PROD, SUM, Communicator
+from repro.mpi import MAX, MIN, SUM, Communicator
 from repro.mpi.coll import MPICollDispatcher
 from repro.sim.engine import run_spmd
 

@@ -1,9 +1,8 @@
 """Communicator identity, Dup/Split, context isolation."""
 
-import numpy as np
 import pytest
 
-from repro.errors import MPICommError, MPIRankError, RankFailedError
+from repro.errors import MPICommError, MPIRankError
 from repro.mpi import SUM, Communicator
 
 

@@ -8,7 +8,6 @@ from repro.mpi import FLOAT, Communicator
 from repro.mpi.communicator import ANY_SOURCE, ANY_TAG
 from repro.mpi.config import host_staged, mvapich_gpu
 from repro.mpi.request import waitall
-from repro.sim.engine import run_spmd
 
 
 def world(ctx, config=None):

@@ -1,11 +1,9 @@
 """Persistent requests (MPI_Send_init / MPI_Recv_init / Start)."""
 
-import numpy as np
-import pytest
 
-from repro.errors import MPICommError, RankFailedError
+from repro.errors import MPICommError
 from repro.mpi import Communicator
-from repro.mpi.communicator import PersistentRequest, start_all
+from repro.mpi.communicator import start_all
 
 
 class TestPersistent:

@@ -1,9 +1,8 @@
 """One-sided communication: windows, put/get/accumulate, epochs."""
 
 import numpy as np
-import pytest
 
-from repro.errors import MPICommError, MPIRankError, RankFailedError
+from repro.errors import MPICommError, MPIRankError
 from repro.mpi import DOUBLE, PROD, SUM, Communicator
 from repro.mpi.rma import Win
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CCLInvalidUsage, RankFailedError
+from repro.errors import CCLInvalidUsage
 from repro.mpi import FLOAT, MAX, SUM
 from repro.xccl import api as xapi
 from repro.xccl.msccl_ir import (

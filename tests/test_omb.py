@@ -1,6 +1,5 @@
 """OMB harness, pt2pt and collective benchmarks, stacks, Habana port."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError, HardwareError
@@ -203,6 +202,34 @@ class TestCLI:
         assert main(["latency", "--system", "mri", "--sizes", "4:64",
                      "--iterations", "2"]) == 0
         assert "Latency" in capsys.readouterr().out
+
+    def test_stats_flag_prints_and_resets(self, capsys):
+        """--stats prints gate states plus per-stage dispatch counters,
+        reset at the start of each sweep so runs don't bleed together."""
+        from repro import fastpath
+        from repro.omb.cli import main
+
+        fastpath.STATS.note_dispatch(xccl=True)  # stale pre-sweep noise
+        assert main(["allreduce", "--system", "thetagpu", "--sizes", "4:1K",
+                     "--iterations", "2", "--warmup", "1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Fast-path gates:" in out
+        state = "on" if fastpath.plans_enabled() else "off"
+        assert f"plan_cache={state}" in out
+        assert "dispatch_calls" in out
+        assert "route_xccl" in out
+        # counters in the report come from this sweep only
+        first = fastpath.STATS.snapshot()["dispatch_calls"]
+        assert main(["allreduce", "--system", "thetagpu", "--sizes", "4:1K",
+                     "--iterations", "2", "--warmup", "1", "--stats"]) == 0
+        assert fastpath.STATS.snapshot()["dispatch_calls"] == first
+        capsys.readouterr()
+
+    def test_stats_off_by_default(self, capsys):
+        from repro.omb.cli import main
+        assert main(["allreduce", "--system", "thetagpu", "--sizes", "4:64",
+                     "--iterations", "1", "--warmup", "0"]) == 0
+        assert "Fast-path gates:" not in capsys.readouterr().out
 
 
 class TestMultiPairBandwidth:

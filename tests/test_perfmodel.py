@@ -3,12 +3,11 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.hw.cluster import PathScope
 from repro.hw.systems import make_system
 from repro.mpi.config import mvapich_gpu, openmpi_ucx
 from repro.perfmodel import ccl_models, ccl_params, mpi_models
 from repro.perfmodel.params import BACKEND_PARAMS
-from repro.perfmodel.shape import CommShape, shape_of
+from repro.perfmodel.shape import shape_of
 
 M4 = 4 << 20
 
@@ -153,7 +152,7 @@ class TestEngineModelAgreement:
         ("allgather", (1024, 65536)),
     ])
     def test_within_2x(self, spmd, coll, sizes):
-        from repro.mpi import Communicator, SUM
+        from repro.mpi import Communicator
         from repro.omb.collective import COLLECTIVE_BENCHMARKS
         from repro.omb.harness import OMBConfig
 

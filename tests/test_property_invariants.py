@@ -1,6 +1,5 @@
 """Property-based invariants on core data structures (hypothesis)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

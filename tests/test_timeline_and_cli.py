@@ -2,9 +2,7 @@
 
 import json
 
-import pytest
 
-from repro.hw.systems import make_system
 from repro.mpi import SUM, Communicator
 from repro.sim.engine import Engine
 from repro.sim.timeline import chrome_trace, save_chrome_trace, summarize

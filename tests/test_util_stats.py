@@ -1,6 +1,5 @@
 """RunningStats, percentile, geometric mean."""
 
-import math
 
 import numpy as np
 import pytest

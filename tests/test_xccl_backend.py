@@ -1,14 +1,8 @@
 """CCL backends: collectives, p2p groups, capability checks, timing."""
 
 import numpy as np
-import pytest
 
-from repro.errors import (
-    CCLInvalidUsage,
-    CCLUnsupportedDatatype,
-    CCLUnsupportedOperation,
-    RankFailedError,
-)
+from repro.errors import (CCLInvalidUsage, CCLUnsupportedDatatype, CCLUnsupportedOperation)
 from repro.mpi import DOUBLE_COMPLEX, FLOAT, INT32, MAX, SUM
 from repro.mpi.ops import LAND, user_op
 from repro.xccl import api as xapi

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Stdlib fallback linter for ``make lint``.
+
+The canonical linter is ruff (configured in ``pyproject.toml``; CI
+installs it).  Hermetic containers without ruff still need the lint
+target to mean something, so this script re-implements the checks we
+actually gate on with nothing but the standard library:
+
+* **E9** — syntax errors / files that do not parse;
+* **F401** — imports never referenced (``__init__.py`` re-export
+  modules are exempt, matching the ruff per-file-ignores);
+* **F811** — an import redefined by a later import in the same scope.
+
+Usage: ``python tools/lint.py DIR [DIR ...]`` — exits non-zero when
+any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[Path, int, str, str]
+
+
+def iter_sources(roots: List[str]) -> Iterator[Path]:
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def _imported_names(node: ast.AST) -> List[Tuple[str, int]]:
+    """(binding name, line) pairs introduced by an import statement."""
+    out = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            out.append((alias.asname or alias.name.split(".")[0], node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            out.append((alias.asname or alias.name, node.lineno))
+    return out
+
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _collect_scopes(body, imports, scope, conditional):
+    """Flatten import statements with their lexical scope.
+
+    Appends ``(name, lineno, scope_id, conditional)`` — ``conditional``
+    marks imports under try/if/loop bodies, where a rebinding is a
+    deliberate fallback pattern, not an F811.
+    """
+    for node in body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name, lineno in _imported_names(node):
+                imports.append((name, lineno, scope, conditional))
+        elif isinstance(node, _SCOPES):
+            inner = getattr(node, "body", [])
+            _collect_scopes(inner, imports, id(node), False)
+        else:
+            for field in ("body", "orelse", "finalbody"):
+                _collect_scopes(getattr(node, field, []), imports, scope, True)
+            for handler in getattr(node, "handlers", []):
+                _collect_scopes(handler.body, imports, scope, True)
+
+
+def _used_names(tree: ast.Module) -> set:
+    """Every identifier the module references, plus ``__all__`` strings
+    (a re-export is a use) — annotations included because the codebase
+    uses ``from __future__ import annotations`` plus real expressions."""
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "a.b.c" uses "a"; the Name child covers it, but keep the
+            # attribute chain for `import a.b` style access too
+            head = node
+            while isinstance(head, ast.Attribute):
+                head = head.value
+            if isinstance(head, ast.Name):
+                used.add(head.id)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)):
+            for elt in ast.walk(node.value):
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    used.add(elt.value)
+    return used
+
+
+def check_file(path: Path) -> List[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [(path, 0, "E902", str(exc))]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, "E999", exc.msg or "syntax error")]
+
+    findings: List[Finding] = []
+    noqa_lines = {i for i, line in enumerate(source.splitlines(), 1)
+                  if "noqa" in line}
+
+    imports: List[Tuple[str, int, int, bool]] = []
+    _collect_scopes(tree.body, imports, id(tree), False)
+
+    seen = {}
+    for name, lineno, scope, conditional in imports:
+        key = (scope, name)
+        if (key in seen and not conditional and lineno not in noqa_lines):
+            findings.append((path, lineno, "F811",
+                             f"redefinition of imported name '{name}' "
+                             f"(first at line {seen[key]})"))
+        elif not conditional:
+            seen[key] = lineno
+
+    if path.name != "__init__.py":
+        used = _used_names(tree)
+        for name, lineno, _scope, conditional in imports:
+            # conditional imports (TYPE_CHECKING blocks, try/except
+            # fallbacks) may be referenced only from quoted annotations,
+            # which this stdlib checker does not parse — leave them to
+            # ruff
+            if name == "annotations" or lineno in noqa_lines or conditional:
+                continue
+            if name not in used:
+                findings.append((path, lineno, "F401",
+                                 f"'{name}' imported but unused"))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["src", "tests", "benchmarks", "tools"]
+    findings: List[Finding] = []
+    count = 0
+    for path in iter_sources(roots):
+        count += 1
+        findings.extend(check_file(path))
+    for path, lineno, code, msg in findings:
+        print(f"{path}:{lineno}: {code} {msg}")
+    print(f"checked {count} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
