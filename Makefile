@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates trace-smoke report examples tune clean
 
 install:
 	pip install -e .
@@ -51,6 +51,18 @@ check-gates:
 	MPIX_PLAN_CACHE=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_GROUP_FUSION=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_ZERO_COPY=0 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_TRACE=1 $(PYTHON) -m pytest tests/ -x -q
+
+# end-to-end observability smoke: a small traced sweep covering a
+# direct-CCL collective and a sendrecv-composed one, then validate and
+# summarize the Chrome trace (runs in CI)
+TRACE_SMOKE ?= /tmp/mpix-trace-smoke.json
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.omb.cli allreduce alltoallv \
+		--system thetagpu --nodes 1 --sizes 4K:256K \
+		--iterations 2 --warmup 1 --trace $(TRACE_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(TRACE_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(TRACE_SMOKE)
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

@@ -353,6 +353,17 @@ class CollectivePipeline:
         self._plans: Dict[str, PlanCache] = {}
         self._tables: Dict[str, TuningTable] = {}
 
+    # -- stage tracing -------------------------------------------------------
+
+    def _mark(self, label: str) -> None:
+        """Record one zero-duration pipeline-stage marker on the rank's
+        trace.  Markers never advance the clock, so tracing on/off
+        leaves payloads and virtual times bit-identical."""
+        trace = self.layer.ctx.trace
+        if trace.enabled:
+            now = self.layer.ctx.now
+            trace.record("stage", now, now, label=label)
+
     # -- stage 1: validate --------------------------------------------------
 
     @staticmethod
@@ -381,6 +392,15 @@ class CollectivePipeline:
             return RouteDecision(Route.MPI, FallbackReason.REDUCE_OP)
         return None
 
+    def _checked_capability(self, coll: str, dt, op, significant,
+                            on_device: bool) -> Optional[RouteDecision]:
+        """:meth:`capability` plus its stage marker (``capability:ok``
+        or ``capability:<fallback reason>``)."""
+        fallback = self.capability(coll, dt, op, significant, on_device)
+        self._mark("capability:ok" if fallback is None
+                   else f"capability:{fallback.reason.value}")
+        return fallback
+
     # -- stage 3: route (mode pin or tuning-table crossover) ----------------
 
     def _table_for(self, comm) -> TuningTable:
@@ -402,9 +422,20 @@ class CollectivePipeline:
     def route(self, comm, coll: str, nbytes: int, dt, op, significant,
               on_device: bool) -> RouteDecision:
         """One uncached walk of the Fig. 2 decision chain."""
+        decision = self._route(comm, coll, nbytes, dt, op, significant,
+                               on_device)
+        self._mark(f"route:{decision.route.value}"
+                   if decision.route == Route.XCCL
+                   else f"route:mpi:{decision.reason.value}")
+        return decision
+
+    def _route(self, comm, coll: str, nbytes: int, dt, op, significant,
+               on_device: bool) -> RouteDecision:
         if self.mode == DispatchMode.PURE_MPI:
+            self._mark("capability:skipped")
             return RouteDecision(Route.MPI, FallbackReason.MODE)
-        fallback = self.capability(coll, dt, op, significant, on_device)
+        fallback = self._checked_capability(coll, dt, op, significant,
+                                            on_device)
         if fallback is not None:
             return fallback
         if self.mode == DispatchMode.PURE_XCCL:
@@ -437,6 +468,7 @@ class CollectivePipeline:
         on_device = not significant or \
             self.layer.identify_device_buffer(*significant)
         if not fastpath.plans_enabled():
+            self._mark("plan:off")
             return self.route(comm, coll, nbytes, dt, op, significant,
                               on_device)
         key = (self.mode, coll, nbytes, dt.name if dt is not None else None,
@@ -444,26 +476,51 @@ class CollectivePipeline:
         cache = self.plan_cache(comm)
         plan = cache.lookup(key)
         if plan is None:
+            self._mark("plan:miss")
             decision = self.route(comm, coll, nbytes, dt, op, significant,
                                   on_device)
             plan = cache.store(key, CollectivePlan(key=key, decision=decision))
+        else:
+            self._mark("plan:hit")
         return plan.decision
 
     # -- stage 5: execute ---------------------------------------------------
 
     def execute(self, call: CollectiveCall, spec: CollectiveSpec,
-                decision: RouteDecision) -> None:
+                decision: RouteDecision) -> RouteDecision:
         """Run the call on its decided route; a CCL runtime error also
-        falls back to the MPI algorithms (§1.2 advantage 3)."""
+        falls back to the MPI algorithms (§1.2 advantage 3).  Returns
+        the decision the call actually executed under (it differs from
+        the argument exactly when a CCL error forced the fallback)."""
+        ctx = self.layer.ctx
+        t0 = ctx.now
         if decision.route == Route.XCCL:
             try:
                 spec.ccl(self.layer, call)
                 self._record(decision, spec)
-                return
+                self._span(call, spec, decision, t0)
+                return decision
             except CCLError:
                 decision = RouteDecision(Route.MPI, FallbackReason.CCL_ERROR)
         spec.mpi(self.mpi, call)
         self._record(decision, spec)
+        self._span(call, spec, decision, t0)
+        return decision
+
+    def _span(self, call: CollectiveCall, spec: CollectiveSpec,
+              decision: RouteDecision, t0: float) -> None:
+        """Record the execute-stage span (the whole collective) with the
+        route the call actually took — ``execute:<coll>:xccl:<backend>``
+        or ``execute:<coll>:mpi:<reason>``."""
+        ctx = self.layer.ctx
+        if not ctx.trace.enabled:
+            return
+        if decision.route == Route.XCCL:
+            label = f"execute:{call.coll}:xccl:{self.layer.backend_name}"
+        else:
+            label = f"execute:{call.coll}:mpi:{decision.reason.value}"
+        ctx.trace.record("dispatch", t0, ctx.now,
+                         nbytes=spec.nbytes(call), label=label)
 
     def _record(self, decision: RouteDecision, spec: CollectiveSpec) -> None:
         self.stats.record(decision, spec.tuning_key)
@@ -477,6 +534,7 @@ class CollectivePipeline:
     def run(self, call: CollectiveCall) -> None:
         """Push one descriptor through all five stages."""
         spec = self.validate(call)
+        self._mark(f"validate:{call.coll}")
         decision = self.decide(call.comm, spec.tuning_key, spec.nbytes(call),
                                call.dt, call.op, *spec.buffers(call))
         self.execute(call, spec, decision)

@@ -56,7 +56,8 @@ def train(ctx: RankContext, stack, model: Optional[ModelSpec] = None,
 
     t_start = ctx.now
     comm_total = 0.0
-    for _ in range(steps):
+    for step in range(steps):
+        t_step = ctx.now
         comm = optimizer.reduce_gradients()
         comm_total += comm
         # overlap rebate: comm already charged in full; the remaining
@@ -65,6 +66,10 @@ def train(ctx: RankContext, stack, model: Optional[ModelSpec] = None,
         hidden = min(comm * config.overlap,
                      compute.backward_time_us(model, batch_per_device))
         ctx.clock.advance(max(0.0, step_compute - hidden))
+        # Horovod-style step boundary: one span per optimizer step so
+        # traced timelines group gradient allreduces by training step
+        ctx.trace.record("step", t_step, ctx.now,
+                         label=f"horovod-step:{step}")
     elapsed = ctx.now - t_start
     step_time = elapsed / steps
     images = batch_per_device * ctx.size * steps

@@ -26,7 +26,14 @@ accumulators, and vectorized reduction kernels.  Same contract again —
 payloads and virtual times are bit-identical with the gate on or off;
 only simulator wall-clock (and allocator traffic) changes.
 
-All three gates live in one registry (:data:`GATE_ENV`) keyed by the
+The observability layer (``MPIX_TRACE`` / :func:`set_trace_enabled`)
+is the fourth gate, and the only one that defaults **off**: it turns on
+per-rank event tracing for every engine (dispatch-pipeline stages,
+transport paths, CCL spans) without touching ``Engine(trace=True)``
+call sites.  Tracing is observation only — payloads and virtual times
+are bit-identical with the gate on or off.
+
+All four gates live in one registry (:data:`GATE_ENV`) keyed by the
 dispatch-pipeline stage they toggle, and are queried through the single
 :func:`gate_enabled` choke point.  :func:`configure` flips any subset
 and returns the previous states (restore with ``configure(**prev)``);
@@ -50,15 +57,21 @@ GATE_ENV: Dict[str, str] = {
     "plan_cache": "MPIX_PLAN_CACHE",       # plan lookup stage
     "group_fusion": "MPIX_GROUP_FUSION",   # fused sendrecv-group transport
     "zero_copy": "MPIX_ZERO_COPY",         # payload handoff by view
+    "trace": "MPIX_TRACE",                 # per-rank event tracing
 }
 
+#: gates that default off when their variable is unset (tracing costs
+#: memory per event, so it is opt-in; the wall-clock gates default on).
+_GATE_DEFAULTS: Dict[str, str] = {"trace": "0"}
 
-def _env_gate(var: str) -> bool:
-    return os.environ.get(var, "1").strip().lower() not in _FALSY
+
+def _env_gate(var: str, default: str = "1") -> bool:
+    return os.environ.get(var, default).strip().lower() not in _FALSY
 
 
-_gates: Dict[str, bool] = {name: _env_gate(var)
-                           for name, var in GATE_ENV.items()}
+_gates: Dict[str, bool] = {
+    name: _env_gate(var, _GATE_DEFAULTS.get(name, "1"))
+    for name, var in GATE_ENV.items()}
 
 
 def gate_enabled(name: str) -> bool:
@@ -74,7 +87,8 @@ def gates() -> Dict[str, bool]:
 
 def configure(plan_cache: Optional[bool] = None,
               group_fusion: Optional[bool] = None,
-              zero_copy: Optional[bool] = None) -> Dict[str, bool]:
+              zero_copy: Optional[bool] = None,
+              trace: Optional[bool] = None) -> Dict[str, bool]:
     """Set any subset of the fast-path gates at once.
 
     Returns the *previous* state of every gate, so a caller can restore
@@ -84,7 +98,8 @@ def configure(plan_cache: Optional[bool] = None,
     prev = gates()
     for name, flag in (("plan_cache", plan_cache),
                        ("group_fusion", group_fusion),
-                       ("zero_copy", zero_copy)):
+                       ("zero_copy", zero_copy),
+                       ("trace", trace)):
         if flag is not None:
             _gates[name] = bool(flag)
     return prev
@@ -125,6 +140,20 @@ def set_zero_copy_enabled(flag: bool) -> bool:
     """Flip the zero-copy datapath on or off; returns the previous
     setting."""
     return configure(zero_copy=flag)["zero_copy"]
+
+
+def trace_enabled() -> bool:
+    """Whether process-wide event tracing is active (``MPIX_TRACE``).
+
+    Engines constructed while this gate is on trace every rank, exactly
+    as if they had been built with ``Engine(trace=True)``."""
+    return _gates["trace"]
+
+
+def set_trace_enabled(flag: bool) -> bool:
+    """Flip process-wide tracing on or off; returns the previous
+    setting."""
+    return configure(trace=flag)["trace"]
 
 
 class PlanStats:

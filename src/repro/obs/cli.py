@@ -1,0 +1,116 @@
+"""``mpix-trace``: summarize, diff, and validate Chrome-trace files.
+
+Examples::
+
+    mpix-omb allreduce alltoallv --trace out.json
+    mpix-trace summarize out.json
+    mpix-trace diff before.json after.json
+    mpix-trace validate out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.obs.metrics import (
+    MetricsReport,
+    aggregate_doc,
+    diff_reports,
+    validate_doc,
+)
+from repro.util.tables import ascii_table
+
+
+def _load(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _print_report(report: MetricsReport) -> None:
+    print(f"# ranks: {report.ranks}")
+    if report.collectives:
+        print(ascii_table(
+            ["Collective", "Calls", "Bytes", "Avg (us)", "Min (us)",
+             "Max (us)", "Routes"],
+            report.summary_rows()))
+    if report.stages:
+        print(ascii_table(
+            ["Pipeline stage", "Count"],
+            [[label, n] for label, n in sorted(report.stages.items())]))
+    if report.transports:
+        print(ascii_table(
+            ["CCL transport", "Messages"],
+            [[label, n] for label, n in sorted(report.transports.items())]))
+    if report.kinds:
+        print(ascii_table(
+            ["Event kind", "Count", "Total (us)"],
+            [[kind, count, round(total, 2)]
+             for kind, (count, total) in sorted(report.kinds.items())]))
+    for name in sorted(report.collectives):
+        m = report.collectives[name]
+        hist = ", ".join(f"{label}: {n}" for label, n in m.histogram_rows())
+        print(f"# {name} latency histogram: {hist}")
+
+
+def _summarize(path: str) -> int:
+    _print_report(aggregate_doc(_load(path)))
+    return 0
+
+
+def _diff(path_a: str, path_b: str) -> int:
+    a = aggregate_doc(_load(path_a))
+    b = aggregate_doc(_load(path_b))
+    print(ascii_table(
+        ["Collective", "Calls", "Avg A (us)", "Avg B (us)", "Delta (us)"],
+        diff_reports(a, b)))
+    return 0
+
+
+def _validate(path: str) -> int:
+    try:
+        doc = _load(path)
+    except (OSError, ValueError) as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    problems = validate_doc(doc)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}")
+        return 1
+    events = [e for e in doc["traceEvents"] if e.get("ph") != "M"]
+    tracks = {(e.get("pid"), e.get("tid")) for e in events}
+    print(f"OK: {len(events)} events on {len(tracks)} tracks")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(prog="mpix-trace", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize",
+                       help="per-collective metrics from one trace")
+    p.add_argument("trace")
+
+    p = sub.add_parser("diff",
+                       help="per-collective deltas between two traces")
+    p.add_argument("trace_a")
+    p.add_argument("trace_b")
+
+    p = sub.add_parser("validate",
+                       help="schema-check one trace (exit 1 on problems)")
+    p.add_argument("trace")
+
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        return _summarize(args.trace)
+    if args.command == "diff":
+        return _diff(args.trace_a, args.trace_b)
+    return _validate(args.trace)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,11 +5,17 @@ Examples::
     mpix-omb allreduce --system thetagpu --nodes 1 --stack hybrid
     mpix-omb latency --system voyager --backend hccl
     mpix-omb alltoall --system mri --nodes 2 --stack ccl --sizes 4:64K
+    mpix-omb allreduce alltoallv --trace out.json   # one traced run
+
+Several collective benchmarks may be named at once: they run back to
+back on one engine (one virtual timeline), which is what makes a
+single ``--trace`` file cover the whole sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -21,6 +27,7 @@ from repro.omb.harness import OMBConfig
 from repro.omb.pt2pt import osu_bibw, osu_bw, osu_latency
 from repro.omb.stacks import STACK_NAMES, make_stack
 from repro.sim.engine import Engine
+from repro.sim.timeline import engine_chrome_trace
 from repro.util.sizes import format_size, parse_size, power_of_two_sizes
 from repro.util.tables import ascii_table, omb_header
 
@@ -43,11 +50,30 @@ def format_stats(snap: dict) -> str:
     return "\n".join(lines)
 
 
+def _write_trace(engine: Engine, path: str, args,
+                 benchmarks: Sequence[str]) -> None:
+    doc = engine_chrome_trace(engine, meta={
+        "tool": "mpix-omb",
+        "benchmarks": list(benchmarks),
+        "system": args.system,
+        "nodes": args.nodes,
+        "stack": args.stack,
+        "sizes": args.sizes,
+    })
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    events = sum(1 for e in doc["traceEvents"] if e.get("ph") != "M")
+    print(f"# Trace: {events} events -> {path} "
+          f"(load in https://ui.perfetto.dev, or mpix-trace summarize)")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point."""
     parser = argparse.ArgumentParser(prog="mpix-omb", description=__doc__)
-    parser.add_argument("benchmark",
-                        choices=sorted(COLLECTIVE_BENCHMARKS) + sorted(PT2PT))
+    parser.add_argument("benchmarks", nargs="+", metavar="benchmark",
+                        help="one or more of: "
+                        + ", ".join(sorted(COLLECTIVE_BENCHMARKS)
+                                    + sorted(PT2PT)))
     parser.add_argument("--system", default="thetagpu",
                         choices=system_names())
     parser.add_argument("--nodes", type=int, default=1)
@@ -59,56 +85,77 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--stack", default="hybrid", choices=STACK_NAMES,
                         help="communication stack (collectives only)")
     parser.add_argument("--sizes", default="4:4M",
-                        help="MIN:MAX sweep, e.g. 4:4M")
+                        help="MIN:MAX sweep, e.g. 4:4K")
     parser.add_argument("--iterations", type=int, default=10)
     parser.add_argument("--warmup", type=int, default=2)
     parser.add_argument("--stats", action="store_true",
                         help="print the fast-path gate states and "
                         "per-stage dispatch counters after the sweep")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="run the sweep traced and write a Chrome/"
+                        "Perfetto JSON timeline to PATH")
 
     args = parser.parse_args(argv)
+    known = set(COLLECTIVE_BENCHMARKS) | set(PT2PT)
+    unknown = [b for b in args.benchmarks if b not in known]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+    if any(b in PT2PT for b in args.benchmarks) and len(args.benchmarks) > 1:
+        parser.error("pt2pt benchmarks run one at a time")
+
     lo, hi = (parse_size(p) for p in args.sizes.split(":"))
     config = OMBConfig(sizes=tuple(power_of_two_sizes(lo, hi)),
                        warmup=args.warmup, iterations=args.iterations)
     cluster = make_system(args.system, args.nodes)
     backend = args.backend or default_ccl_for(cluster.devices[0].vendor)
 
-    if args.benchmark in PT2PT:
-        bench = PT2PT[args.benchmark]
+    if args.benchmarks[0] in PT2PT:
+        name = args.benchmarks[0]
+        bench = PT2PT[name]
         nranks = args.ranks or 2
         engine = Engine(cluster, nranks=nranks,
-                        ranks_per_node=args.ranks_per_node)
+                        ranks_per_node=args.ranks_per_node,
+                        trace=bool(args.trace))
         if args.stats:
             fastpath.STATS.reset()
         data = engine.run(lambda ctx: bench(ctx, backend, config))[0]
-        unit = "Latency (us)" if args.benchmark == "latency" else "Bandwidth (MB/s)"
-        print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks))
+        unit = "Latency (us)" if name == "latency" else "Bandwidth (MB/s)"
+        print(omb_header(f"osu_{name}", args.system, backend, nranks))
         print(ascii_table(["Size", unit],
                           [[format_size(s), v] for s, v in sorted(data.items())]))
         if args.stats:
             print(format_stats(fastpath.snapshot()))
+        if args.trace:
+            _write_trace(engine, args.trace, args, args.benchmarks)
         return 0
 
-    bench = COLLECTIVE_BENCHMARKS[args.benchmark]
     nranks = args.ranks or (cluster.device_count if args.ranks_per_node is None
                             else cluster.node_count * args.ranks_per_node)
     engine = Engine(cluster, nranks=nranks,
-                    ranks_per_node=args.ranks_per_node)
+                    ranks_per_node=args.ranks_per_node,
+                    trace=bool(args.trace))
 
     def body(ctx):
-        return bench(ctx, make_stack(ctx, args.stack, backend), config)
+        # one stack, one virtual timeline: back-to-back sweeps share
+        # the engine run so a single trace file covers them all
+        stack = make_stack(ctx, args.stack, backend)
+        return [COLLECTIVE_BENCHMARKS[name](ctx, stack, config)
+                for name in args.benchmarks]
 
     if args.stats:
         fastpath.STATS.reset()
-    stats = engine.run(body)[0]
-    print(omb_header(f"osu_{args.benchmark}", args.system, backend, nranks,
-                     extra=f"Stack: {args.stack}"))
-    print(ascii_table(
-        ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
-        [[format_size(s), st.avg_us, st.min_us, st.max_us]
-         for s, st in sorted(stats.items())]))
+    per_bench = engine.run(body)[0]
+    for name, stats in zip(args.benchmarks, per_bench):
+        print(omb_header(f"osu_{name}", args.system, backend, nranks,
+                         extra=f"Stack: {args.stack}"))
+        print(ascii_table(
+            ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
+            [[format_size(s), st.avg_us, st.min_us, st.max_us]
+             for s, st in sorted(stats.items())]))
     if args.stats:
         print(format_stats(fastpath.snapshot()))
+    if args.trace:
+        _write_trace(engine, args.trace, args, args.benchmarks)
     return 0
 
 

@@ -1,5 +1,5 @@
 """Collective benchmarks: osu_allreduce / reduce / bcast / alltoall /
-allgather / reduce_scatter.
+alltoallv / allgather / reduce_scatter.
 
 Each benchmark runs an SPMD body on a prepared communication *stack* —
 any object exposing the MPI collective surface (a hybrid-dispatched
@@ -138,6 +138,37 @@ def osu_alltoall(ctx: RankContext, stack,
     return _run_sweep(ctx, config, "alltoall", _barrier_for(stack), make_op)
 
 
+def osu_alltoallv(ctx: RankContext, stack,
+                  config: Optional[OMBConfig] = None) -> Dict[int, LatencyStats]:
+    """MPI_Alltoallv latency sweep; message size is the *mean*
+    per-destination block (counts alternate around it, OMB's
+    osu_alltoallv style), exercising the vector dispatch path.
+
+    No pure-CCL variant — the CCL APIs have no alltoallv, which is the
+    paper's Listing-1 motivation; use the hybrid/pure-xccl stacks.
+    """
+    config = config or OMBConfig()
+    p = ctx.size
+    maxn = (max(config.sizes) // 4 + 1) * p
+    send = _alloc(ctx, maxn)
+    recv = _alloc(ctx, maxn)
+
+    def make_op(size: int) -> Callable[[], None]:
+        count = max(size // 4, 1)
+        # alternate the per-destination counts around the mean; every
+        # rank derives the matching recvcounts from the senders' rule
+        sendcounts = [max(count + (1 if (ctx.rank + d) % 2 else -1), 1)
+                      for d in range(p)]
+        recvcounts = [max(count + (1 if (s + ctx.rank) % 2 else -1), 1)
+                      for s in range(p)]
+        return lambda: stack.Alltoallv(send.view(0, sum(sendcounts)),
+                                       sendcounts,
+                                       recv.view(0, sum(recvcounts)),
+                                       recvcounts, datatype=FLOAT)
+
+    return _run_sweep(ctx, config, "alltoallv", _barrier_for(stack), make_op)
+
+
 def osu_allgather(ctx: RankContext, stack,
                   config: Optional[OMBConfig] = None) -> Dict[int, LatencyStats]:
     """MPI_Allgather latency sweep; message size is the per-rank
@@ -248,6 +279,7 @@ COLLECTIVE_BENCHMARKS = {
     "reduce": osu_reduce,
     "bcast": osu_bcast,
     "alltoall": osu_alltoall,
+    "alltoallv": osu_alltoallv,
     "allgather": osu_allgather,
     "reduce_scatter": osu_reduce_scatter,
     "gather": osu_gather,

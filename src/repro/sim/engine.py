@@ -265,7 +265,15 @@ class Engine:
         if self.nranks > capacity:
             raise SimulationError(
                 f"{self.nranks} ranks exceed cluster capacity {capacity}")
-        self.trace_enabled = trace
+        # deferred import to keep sim below core in the layering
+        from repro import fastpath
+        # MPIX_TRACE turns tracing on for every engine without touching
+        # call sites; an explicit trace=True still works with the gate off
+        self.trace_enabled = bool(trace) or fastpath.gate_enabled("trace")
+        # the fast-path counters are process-global; a new engine is a
+        # new run, so start it from zero (tests and back-to-back sweeps
+        # must not see a previous engine's counts)
+        fastpath.STATS.reset()
         self.monitor = ProgressMonitor(progress_timeout_s)
         self._mailboxes = [Mailbox(r, self.monitor) for r in range(self.nranks)]
         self._devices = [cluster.device_for_rank(r, ranks_per_node)
@@ -280,7 +288,6 @@ class Engine:
         # staging pools this one is locked (import is deferred to keep
         # sim below core in the layering)
         from repro.core.plan import BufferPool
-        from repro import fastpath
         self.scratch_pool = BufferPool(
             threadsafe=True,
             reuse_note=fastpath.STATS.note_accumulator_reuse)
@@ -294,6 +301,15 @@ class Engine:
     def device_of(self, rank: int) -> Accelerator:
         """Accelerator assigned to ``rank``."""
         return self._devices[rank]
+
+    def node_of(self, rank: int) -> int:
+        """Cluster node index hosting ``rank`` (Chrome-trace pids)."""
+        return self.cluster.node_index_of(self._devices[rank])
+
+    def traces(self) -> List[Trace]:
+        """The per-rank traces of the most recent :meth:`run` (empty
+        before the first run)."""
+        return [ctx.trace for ctx in self.contexts]
 
     def collective_slot(self, key: Any, parties: int,
                         factory: type = CollectiveSlot) -> CollectiveSlot:

@@ -1,10 +1,28 @@
 """Per-rank communication traces.
 
-When enabled on the engine, every communication layer records
+When enabled on the engine (``Engine(trace=True)`` or the process-wide
+``MPIX_TRACE`` gate), every communication layer records
 :class:`TraceEvent` entries (virtual start/end, kind, peer, bytes).
 Tests use traces to check algorithm step structure — e.g. that binomial
 broadcast issues exactly ``ceil(log2 p)`` rounds — and the perfmodel
 validation compares traced times with analytic predictions.
+
+Event kinds by layer:
+
+* ``send`` / ``recv`` — MPI point-to-point transfers (labels carry the
+  protocol: ``eager``/``rts``);
+* ``ccl-send`` / ``ccl-recv`` — grouped CCL p2p (labels carry the
+  transport: ``exchange``/``bulk``/``unfused``/``fallback``);
+* ``ccl`` — one fused built-in CCL collective rendezvous;
+* ``kernel`` / ``copy`` — local compute and staging;
+* ``stage`` — zero-duration dispatch-pipeline stage markers
+  (``validate:*``, ``capability:*``, ``route:*``, ``plan:*``);
+* ``dispatch`` — the pipeline's execute stage, spanning the whole
+  collective (label ``execute:<coll>:<route>...``);
+* ``step`` — application step boundaries (the Horovod trainer).
+
+:mod:`repro.sim.timeline` exports traces as Chrome/Perfetto JSON, and
+:mod:`repro.obs.metrics` aggregates them into per-collective metrics.
 """
 
 from __future__ import annotations

@@ -295,6 +295,10 @@ class CCLBackend:
         # become borrowed views (reclaimed at the consume barrier);
         # process-wide gates keep the decision symmetric across ranks
         zc_exchange = use_exchange and fastpath.zero_copy_enabled()
+        # transport label for trace events: which of the three delivery
+        # paths this batch took (observability only)
+        transport = "exchange" if use_exchange else \
+            ("bulk" if fused else "unfused")
 
         if ops:
             spans = any(
@@ -366,7 +370,7 @@ class CCLBackend:
                 outbound.setdefault(peer_world, []).append(msg)
                 nmsgs += 1
                 ctx.trace.record("ccl-send", t0, t0, peer=peer_world,
-                                 nbytes=nbytes)
+                                 nbytes=nbytes, label=transport)
         else:
             for op in ops:
                 if op.kind != "send":
@@ -390,7 +394,7 @@ class CCLBackend:
                                     "seq": seq})
                 ctx.mailbox_of(peer_world).post(msg)
                 ctx.trace.record("ccl-send", t0, t0, peer=peer_world,
-                                 nbytes=nbytes)
+                                 nbytes=nbytes, label=transport)
 
         recv_ops = [op for op in ops if op.kind == "recv"]
         matched: List[Optional[Message]] = []
@@ -456,7 +460,7 @@ class CCLBackend:
             # deferred fallback matches block on late traffic
             last = self._drain_recvs(
                 ctx, ((op, msg) for op, msg in zip(recv_ops, matched)
-                      if msg is not None), last)
+                      if msg is not None), last, transport)
             slot.consume_barrier(exchange.rank)
             for pos, op, peer_world, seq in pending:
                 matched[pos] = ctx.mailbox.match(
@@ -464,17 +468,19 @@ class CCLBackend:
                     where=self._seq_matcher(op.comm.uid, seq))
             last = self._drain_recvs(
                 ctx, ((op, matched[pos]) for pos, op, _pw, _s in pending),
-                last)
+                last, "fallback")
         else:
-            last = self._drain_recvs(ctx, zip(recv_ops, matched), last)
+            last = self._drain_recvs(ctx, zip(recv_ops, matched), last,
+                                     transport)
         ctx.clock.merge(last)
         for op in ops:
             op.comm.stream.enqueue(0.0, ctx.now, label="ccl-group")
 
     @staticmethod
-    def _drain_recvs(ctx, pairs, last: float) -> float:
+    def _drain_recvs(ctx, pairs, last: float, transport: str = "") -> float:
         """Copy matched messages into their receive buffers; returns
-        the updated completion watermark."""
+        the updated completion watermark.  ``transport`` labels the
+        trace events with the delivery path the batch took."""
         for op, msg in pairs:
             peer_world = op.comm.world_rank(op.peer)
             target = as_array(op.buf)[:op.count]
@@ -482,13 +488,15 @@ class CCLBackend:
                 else msg.data.astype(target.dtype)
             last = max(last, msg.arrival_us)
             ctx.trace.record("ccl-recv", msg.depart_us, msg.arrival_us,
-                             peer=peer_world, nbytes=msg.nbytes)
+                             peer=peer_world, nbytes=msg.nbytes,
+                             label=transport)
         return last
 
     # -- fused built-in collectives ------------------------------------------
 
     def _fused(self, comm: XCCLComm, key, payload, duration: float, compute,
-               consume=None, cleanup=None):
+               consume=None, cleanup=None, nbytes: int = 0,
+               label: str = ""):
         """Common rendezvous plumbing: deposit payload, one rank
         computes, everyone completes at ``max(arrivals) + duration``.
 
@@ -498,8 +506,15 @@ class CCLBackend:
         still be read (see :class:`repro.sim.engine.CollectiveSlot`).
         ``cleanup(result)`` runs once, after the last consumer — where
         pooled scratch is returned.
+
+        When tracing is on, the call records one ``ccl`` span from this
+        rank's deposit to the collective's completion time — the only
+        trace record the five built-in collectives get (the vendor
+        library is a black box; its internal steps are priced, not
+        stepped).
         """
         ctx = comm.ctx
+        t_deposit = ctx.now
         slot = ctx.collective_slot(key, comm.size)
 
         def _run(payloads: Dict[int, Tuple]):
@@ -520,6 +535,9 @@ class CCLBackend:
                                            _run, consume=_consume,
                                            cleanup=_cleanup)
         ctx.clock.merge(t_done)
+        # key = ("xccl", uid, kind, seq) — see XCCLComm.next_coll_key
+        ctx.trace.record("ccl", t_deposit, ctx.now, nbytes=nbytes,
+                         label=label or f"{self.name}:{key[2]}")
         comm.stream.enqueue(0.0, ctx.now, label="ccl-coll")
         return result
 
@@ -594,11 +612,13 @@ class CCLBackend:
             self._fused(
                 comm, key, borrow_view(src_view), dur, compute,
                 consume=lambda rank, res, data: self._copy_out(out, res[0]),
-                cleanup=lambda res: res[1].release(res[2], res[0]))
+                cleanup=lambda res: res[1].release(res[2], res[0]),
+                nbytes=nbytes)
             return
         snapshot = src_view.copy()
         result = self._fused(comm, key, snapshot,
-                             dur, lambda data: self._reduce_all(op, data))
+                             dur, lambda data: self._reduce_all(op, data),
+                             nbytes=nbytes)
         out = as_array(recvbuf)[:count]
         self._copy_out(out, result)
 
@@ -624,10 +644,12 @@ class CCLBackend:
                     self._copy_out(out, result)
 
             self._fused(comm, key, payload, dur,
-                        lambda data: data[root], consume=consume)
+                        lambda data: data[root], consume=consume,
+                        nbytes=nbytes)
             return
         payload = root_view.copy() if comm.rank == root else None
-        result = self._fused(comm, key, payload, dur, lambda data: data[root])
+        result = self._fused(comm, key, payload, dur, lambda data: data[root],
+                             nbytes=nbytes)
         if comm.rank != root:
             out = as_array(buf)[:count]
             self._copy_out(out, result)
@@ -658,11 +680,13 @@ class CCLBackend:
 
             self._fused(comm, key, borrow_view(src_view), dur, compute,
                         consume=consume,
-                        cleanup=lambda res: res[1].release(res[2], res[0]))
+                        cleanup=lambda res: res[1].release(res[2], res[0]),
+                        nbytes=nbytes)
             return
         snapshot = src_view.copy()
         result = self._fused(comm, key, snapshot,
-                             dur, lambda data: self._reduce_all(op, data))
+                             dur, lambda data: self._reduce_all(op, data),
+                             nbytes=nbytes)
         if comm.rank == root:
             out = as_array(recvbuf)[:count]
             self._copy_out(out, result)
@@ -699,12 +723,13 @@ class CCLBackend:
                     self._copy_out(out[r * count:(r + 1) * count], data[r])
 
             self._fused(comm, key, borrow_view(src_view), dur,
-                        lambda data: None, consume=consume)
+                        lambda data: None, consume=consume, nbytes=nbytes)
             return
         snapshot = src_view.copy()
         result = self._fused(
             comm, key, snapshot, dur,
-            lambda data: np.concatenate([data[r] for r in range(len(data))]))
+            lambda data: np.concatenate([data[r] for r in range(len(data))]),
+            nbytes=nbytes)
         self._copy_out(out, result)
 
     def reduce_scatter(self, comm: XCCLComm, sendbuf, recvbuf, count: int,
@@ -731,11 +756,13 @@ class CCLBackend:
                 comm, key, borrow_view(src_view), dur, compute,
                 consume=lambda rank, res, data:
                     self._copy_out(out, res[0][lo:hi]),
-                cleanup=lambda res: res[1].release(res[2], res[0]))
+                cleanup=lambda res: res[1].release(res[2], res[0]),
+                nbytes=nbytes)
             return
         snapshot = src_view.copy()
         reduced = self._fused(comm, key, snapshot, dur,
-                              lambda data: self._reduce_all(op, data))
+                              lambda data: self._reduce_all(op, data),
+                              nbytes=nbytes)
         out = as_array(recvbuf)[:count]
         self._copy_out(out, reduced[comm.rank * count:(comm.rank + 1) * count])
 
