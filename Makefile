@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-all check-gates trace-smoke report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-all check-gates scale-smoke trace-smoke report examples tune clean
 
 install:
 	pip install -e .
@@ -42,16 +42,32 @@ bench-fusion:
 bench-zerocopy:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_zero_copy.py
 
-# refresh every committed BENCH_*.json in one go
-bench-all: bench-hotpath bench-fusion bench-zerocopy
+# thread vs cooperative scheduler at 64 -> 4096 ranks (several minutes)
+bench-engine:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scale.py
 
-# tier-1 suite with each fast-path gate individually disabled: every
+# refresh every committed BENCH_*.json in one go
+bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine
+
+# tier-1 suite with each fast-path gate individually toggled: every
 # optimisation must be pure wall-clock, invisible to results
 check-gates:
 	MPIX_PLAN_CACHE=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_GROUP_FUSION=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_ZERO_COPY=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_TRACE=1 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_COOP_SCHED=1 $(PYTHON) -m pytest tests/ -x -q
+
+# fast CI leg: a 256-rank oversubscribed job must stay quick and
+# bit-identical under both rank schedulers
+scale-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		tests/test_engine_scale.py::test_scale_smoke_256_both_schedulers \
+		tests/test_engine_scale.py::test_coop_exact_deadlock_detected_fast \
+		-q
+	MPIX_COOP_SCHED=1 PYTHONPATH=src $(PYTHON) -m repro.omb.cli barrier \
+		--system thetagpu --nodes 4 --ranks 256 --sizes 4:4 \
+		--iterations 2 --warmup 1
 
 # end-to-end observability smoke: a small traced sweep covering a
 # direct-CCL collective and a sendrecv-composed one, then validate and

@@ -33,7 +33,15 @@ transport paths, CCL spans) without touching ``Engine(trace=True)``
 call sites.  Tracing is observation only — payloads and virtual times
 are bit-identical with the gate on or off.
 
-All four gates live in one registry (:data:`GATE_ENV`) keyed by the
+The cooperative rank scheduler (``MPIX_COOP_SCHED`` /
+:func:`set_coop_sched_enabled`) is the fifth gate, also default off:
+engines built with it on run ranks as run-queue fibers
+(:mod:`repro.sim.sched`) instead of freely scheduled polling OS
+threads — the mode that makes 1k–4k-rank jobs tractable.  Scheduling
+is wall-clock only: payloads and virtual times are bit-identical with
+the gate on or off.
+
+All five gates live in one registry (:data:`GATE_ENV`) keyed by the
 dispatch-pipeline stage they toggle, and are queried through the single
 :func:`gate_enabled` choke point.  :func:`configure` flips any subset
 and returns the previous states (restore with ``configure(**prev)``);
@@ -58,11 +66,14 @@ GATE_ENV: Dict[str, str] = {
     "group_fusion": "MPIX_GROUP_FUSION",   # fused sendrecv-group transport
     "zero_copy": "MPIX_ZERO_COPY",         # payload handoff by view
     "trace": "MPIX_TRACE",                 # per-rank event tracing
+    "coop_sched": "MPIX_COOP_SCHED",       # cooperative rank scheduler
 }
 
 #: gates that default off when their variable is unset (tracing costs
-#: memory per event, so it is opt-in; the wall-clock gates default on).
-_GATE_DEFAULTS: Dict[str, str] = {"trace": "0"}
+#: memory per event, so it is opt-in; the cooperative scheduler changes
+#: the engine's execution model, so it is opt-in too; the wall-clock
+#: gates default on).
+_GATE_DEFAULTS: Dict[str, str] = {"trace": "0", "coop_sched": "0"}
 
 
 def _env_gate(var: str, default: str = "1") -> bool:
@@ -88,7 +99,8 @@ def gates() -> Dict[str, bool]:
 def configure(plan_cache: Optional[bool] = None,
               group_fusion: Optional[bool] = None,
               zero_copy: Optional[bool] = None,
-              trace: Optional[bool] = None) -> Dict[str, bool]:
+              trace: Optional[bool] = None,
+              coop_sched: Optional[bool] = None) -> Dict[str, bool]:
     """Set any subset of the fast-path gates at once.
 
     Returns the *previous* state of every gate, so a caller can restore
@@ -99,7 +111,8 @@ def configure(plan_cache: Optional[bool] = None,
     for name, flag in (("plan_cache", plan_cache),
                        ("group_fusion", group_fusion),
                        ("zero_copy", zero_copy),
-                       ("trace", trace)):
+                       ("trace", trace),
+                       ("coop_sched", coop_sched)):
         if flag is not None:
             _gates[name] = bool(flag)
     return prev
@@ -156,6 +169,23 @@ def set_trace_enabled(flag: bool) -> bool:
     return configure(trace=flag)["trace"]
 
 
+def coop_sched_enabled() -> bool:
+    """Whether engines schedule ranks cooperatively
+    (``MPIX_COOP_SCHED``).
+
+    Engines constructed while this gate is on run their ranks as
+    run-queue fibers (:mod:`repro.sim.sched`) instead of freely
+    scheduled polling OS threads.  Scheduling is wall-clock only —
+    payloads and virtual times are bit-identical either way."""
+    return _gates["coop_sched"]
+
+
+def set_coop_sched_enabled(flag: bool) -> bool:
+    """Flip the cooperative scheduler on or off (affects engines
+    constructed afterwards); returns the previous setting."""
+    return configure(coop_sched=flag)["coop_sched"]
+
+
 class PlanStats:
     """Hit/miss/compile counters for the plan-caching layer.
 
@@ -186,6 +216,10 @@ class PlanStats:
         self.route_mpi = 0          # execute stage ran an MPI algorithm
         self.route_fallbacks = 0    # capability fallbacks (§3.2), not tuning
         self.ccl_errors = 0         # runtime CCL errors rescued by MPI
+        #: cooperative-scheduler counters (MPIX_COOP_SCHED):
+        self.coop_runs = 0          # engine runs under the coop scheduler
+        self.coop_parks = 0         # fiber deschedules (blocked waits)
+        self.coop_switches = 0      # run-token handoffs
 
     def note_hit(self, n: int = 1) -> None:
         """Record ``n`` plan-cache hits."""
@@ -253,6 +287,15 @@ class PlanStats:
                 if ccl_error:
                     self.ccl_errors += 1
 
+    def note_coop_run(self, parks: int, switches: int) -> None:
+        """Record one engine run under the cooperative scheduler (the
+        engine aggregates the scheduler's per-run totals here once, at
+        run end — no per-transition lock traffic)."""
+        with self._lock:
+            self.coop_runs += 1
+            self.coop_parks += parks
+            self.coop_switches += switches
+
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
         with self._lock:
@@ -263,6 +306,7 @@ class PlanStats:
             self.accumulator_reuses = 0
             self.dispatch_calls = self.route_xccl = self.route_mpi = 0
             self.route_fallbacks = self.ccl_errors = 0
+            self.coop_runs = self.coop_parks = self.coop_switches = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A consistent copy of the counters."""
@@ -281,7 +325,10 @@ class PlanStats:
                     "route_xccl": self.route_xccl,
                     "route_mpi": self.route_mpi,
                     "route_fallbacks": self.route_fallbacks,
-                    "ccl_errors": self.ccl_errors}
+                    "ccl_errors": self.ccl_errors,
+                    "coop_runs": self.coop_runs,
+                    "coop_parks": self.coop_parks,
+                    "coop_switches": self.coop_switches}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.snapshot()

@@ -6,10 +6,15 @@ Examples::
     mpix-omb latency --system voyager --backend hccl
     mpix-omb alltoall --system mri --nodes 2 --stack ccl --sizes 4:64K
     mpix-omb allreduce alltoallv --trace out.json   # one traced run
+    mpix-omb allreduce --nodes 4 --ranks 64,256,1024  # scale sweep
 
 Several collective benchmarks may be named at once: they run back to
 back on one engine (one virtual timeline), which is what makes a
 single ``--trace`` file cover the whole sweep.
+
+``--ranks`` accepts a comma-separated list for rank-count scaling
+sweeps; counts beyond the cluster's device count oversubscribe nodes
+automatically (``MPIX_COOP_SCHED=1`` keeps 1k-4k-rank sweeps fast).
 """
 
 from __future__ import annotations
@@ -77,8 +82,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--system", default="thetagpu",
                         choices=system_names())
     parser.add_argument("--nodes", type=int, default=1)
-    parser.add_argument("--ranks", type=int, default=None,
-                        help="default: one per device (2 for pt2pt)")
+    parser.add_argument("--ranks", default=None,
+                        help="rank count, or a comma-separated list for a "
+                        "scale sweep (collectives only); counts beyond the "
+                        "device count oversubscribe nodes. default: one "
+                        "per device (2 for pt2pt)")
     parser.add_argument("--ranks-per-node", type=int, default=None)
     parser.add_argument("--backend", default=None,
                         help="CCL backend (default: the system's native)")
@@ -103,6 +111,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if any(b in PT2PT for b in args.benchmarks) and len(args.benchmarks) > 1:
         parser.error("pt2pt benchmarks run one at a time")
 
+    try:
+        rank_counts = ([int(p) for p in str(args.ranks).split(",")]
+                       if args.ranks is not None else [None])
+    except ValueError:
+        parser.error(f"--ranks must be an integer or a comma-separated "
+                     f"list of integers, got {args.ranks!r}")
+    if any(n is not None and n <= 0 for n in rank_counts):
+        parser.error("--ranks counts must be positive")
+    if len(rank_counts) > 1:
+        if args.benchmarks[0] in PT2PT:
+            parser.error("pt2pt benchmarks take a single --ranks count")
+        if args.trace:
+            parser.error("--trace covers one engine run; use a single "
+                         "--ranks count")
+        if args.ranks_per_node is not None:
+            parser.error("--ranks-per-node conflicts with a --ranks sweep "
+                         "(placement is derived per count)")
+
     lo, hi = (parse_size(p) for p in args.sizes.split(":"))
     config = OMBConfig(sizes=tuple(power_of_two_sizes(lo, hi)),
                        warmup=args.warmup, iterations=args.iterations)
@@ -112,7 +138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.benchmarks[0] in PT2PT:
         name = args.benchmarks[0]
         bench = PT2PT[name]
-        nranks = args.ranks or 2
+        nranks = rank_counts[0] or 2
         engine = Engine(cluster, nranks=nranks,
                         ranks_per_node=args.ranks_per_node,
                         trace=bool(args.trace))
@@ -129,12 +155,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _write_trace(engine, args.trace, args, args.benchmarks)
         return 0
 
-    nranks = args.ranks or (cluster.device_count if args.ranks_per_node is None
-                            else cluster.node_count * args.ranks_per_node)
-    engine = Engine(cluster, nranks=nranks,
-                    ranks_per_node=args.ranks_per_node,
-                    trace=bool(args.trace))
-
     def body(ctx):
         # one stack, one virtual timeline: back-to-back sweeps share
         # the engine run so a single trace file covers them all
@@ -142,20 +162,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return [COLLECTIVE_BENCHMARKS[name](ctx, stack, config)
                 for name in args.benchmarks]
 
-    if args.stats:
-        fastpath.STATS.reset()
-    per_bench = engine.run(body)[0]
-    for name, stats in zip(args.benchmarks, per_bench):
-        print(omb_header(f"osu_{name}", args.system, backend, nranks,
-                         extra=f"Stack: {args.stack}"))
-        print(ascii_table(
-            ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
-            [[format_size(s), st.avg_us, st.min_us, st.max_us]
-             for s, st in sorted(stats.items())]))
-    if args.stats:
-        print(format_stats(fastpath.snapshot()))
-    if args.trace:
-        _write_trace(engine, args.trace, args, args.benchmarks)
+    for count in rank_counts:
+        nranks = count or (cluster.device_count
+                           if args.ranks_per_node is None
+                           else cluster.node_count * args.ranks_per_node)
+        rpn = args.ranks_per_node
+        if rpn is None and nranks > cluster.device_count:
+            # a scale sweep beyond the physical device count: spread
+            # the extra ranks evenly by oversubscribing every node
+            rpn = -(-nranks // cluster.node_count)
+        engine = Engine(cluster, nranks=nranks, ranks_per_node=rpn,
+                        trace=bool(args.trace))
+        if args.stats:
+            fastpath.STATS.reset()
+        per_bench = engine.run(body)[0]
+        for name, stats in zip(args.benchmarks, per_bench):
+            extra = f"Stack: {args.stack}" + (
+                f" | {rpn} ranks/node" if rpn else "")
+            print(omb_header(f"osu_{name}", args.system, backend, nranks,
+                             extra=extra))
+            print(ascii_table(
+                ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
+                [[format_size(s), st.avg_us, st.min_us, st.max_us]
+                 for s, st in sorted(stats.items())]))
+        if args.stats:
+            print(format_stats(fastpath.snapshot()))
+        if args.trace:
+            _write_trace(engine, args.trace, args, args.benchmarks)
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.mailbox import Mailbox, Message, ANY_SOURCE, ANY_TAG
 from repro.sim.engine import Engine, RankContext, run_spmd
 from repro.sim.faults import FaultPlan, FaultInjector, with_faults
+from repro.sim.sched import CoopScheduler, CoopWaitq, ThreadWaitq
 from repro.sim.tracing import Trace, TraceEvent
 from repro.sim.wire import WireTracker
 
@@ -31,6 +32,9 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "with_faults",
+    "CoopScheduler",
+    "CoopWaitq",
+    "ThreadWaitq",
     "Trace",
     "TraceEvent",
     "WireTracker",

@@ -37,6 +37,19 @@ class VirtualClock:
             self._now = ts_us
         return self._now
 
+    def merge_many(self, ts_list) -> float:
+        """Merge a batch of timestamps in one call.
+
+        Exactly ``merge(max(ts_list))`` — ``max`` never rounds, so the
+        result is bit-identical to merging one by one, at one attribute
+        write for a whole fused batch of arrivals.
+        """
+        if ts_list:
+            top = max(ts_list)
+            if top > self._now:
+                self._now = top
+        return self._now
+
     def reset(self, start_us: float = 0.0) -> None:
         """Rewind the clock (only the benchmark harness does this,
         between repetitions, at a global synchronization point)."""

@@ -1,9 +1,13 @@
-"""SPMD launcher: one thread per MPI rank, virtual clocks, shared slots.
+"""SPMD launcher: rank programs, virtual clocks, shared slots.
 
 :func:`run_spmd` is the ``mpiexec`` of this reproduction: it places
 ``nranks`` rank programs onto a cluster's accelerators (block,
-node-major — the paper's one-rank-per-device configuration), runs them
-as threads, and returns their per-rank return values.
+node-major — the paper's one-rank-per-device configuration), runs
+them, and returns their per-rank return values.  Ranks run either as
+freely scheduled OS threads (the default) or, under
+``MPIX_COOP_SCHED=1``, as cooperative run-queue fibers
+(:mod:`repro.sim.sched`) — the mode that keeps 1k-4k-rank jobs
+tractable.  Scheduling never changes payloads or virtual times.
 
 The engine also hosts :class:`CollectiveSlot` rendezvous objects: the
 mechanism by which a simulated CCL collective gathers every rank's
@@ -22,6 +26,7 @@ from repro.hw.cluster import Cluster
 from repro.hw.device import Accelerator
 from repro.sim.clock import VirtualClock
 from repro.sim.mailbox import Mailbox, ProgressMonitor
+from repro.sim.sched import CoopScheduler, CoopWaitq, ThreadWaitq
 from repro.sim.tracing import Trace
 from repro.sim.wire import WireTracker
 
@@ -44,17 +49,23 @@ class CollectiveSlot:
     """
 
     def __init__(self, key: Any, parties: int, monitor: ProgressMonitor,
-                 on_finish=None) -> None:
+                 on_finish=None, waitq_factory=None) -> None:
         if parties <= 0:
             raise SimulationError(f"collective slot needs parties > 0, got {parties}")
         self.key = key
         self.parties = parties
         self._monitor = monitor
         self._on_finish = on_finish
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        if waitq_factory is None:
+            self._waitq = ThreadWaitq(self._lock, monitor)
+        else:
+            self._waitq = waitq_factory(self._lock)
         self._payloads: Dict[int, Any] = {}
         self._result: Any = None
+        self._error: Optional[BaseException] = None
         self._done = False
+        self._failed = False
         self._retrieved = 0
         self._consumed = 0
         self._consume_done = False
@@ -71,27 +82,35 @@ class CollectiveSlot:
         has run, on the last consumer's thread).  All parties of one
         exchange must agree on whether they pass ``consume`` — the
         zero-copy gate is process-wide, which guarantees that.
+
+        If ``compute`` raises, the exception is re-raised on **every**
+        party (not just the computing one): the waiters are released
+        immediately and raise the same exception object, instead of
+        hanging until the stall timeout turns the failure into a
+        misleading :class:`DeadlockError`.
         """
-        with self._cond:
+        with self._lock:
             if rank in self._payloads:
                 raise SimulationError(
                     f"rank {rank} arrived twice at collective {self.key!r}")
             self._payloads[rank] = payload
             self._monitor.note_progress()
             if len(self._payloads) == self.parties:
-                self._result = compute(self._payloads)
+                try:
+                    self._result = compute(self._payloads)
+                except BaseException as exc:  # noqa: BLE001 - re-raised on all
+                    self._fail_locked(exc)
+                    raise
                 self._done = True
-                self._cond.notify_all()
+                self._waitq.notify_all()
             else:
-                wait_s = Mailbox.FIRST_POLL_S
-                while not self._done:
-                    notified = self._cond.wait(timeout=wait_s)
-                    wait_s = Mailbox.FIRST_POLL_S if notified \
-                        else min(wait_s * 2.0, Mailbox.POLL_S)
-                    if not self._done and self._monitor.stalled():
-                        raise DeadlockError(
-                            f"rank {rank} waiting in collective {self.key!r}: "
-                            f"{len(self._payloads)}/{self.parties} arrived")
+                self._waitq.wait_for(
+                    lambda: self._done,
+                    lambda: (f"rank {rank} waiting in collective "
+                             f"{self.key!r}: {len(self._payloads)}"
+                             f"/{self.parties} arrived"))
+                if self._error is not None:
+                    raise self._error
             result = self._result
         if consume is not None:
             # the heavy copy-out runs *outside* the slot lock so all
@@ -99,7 +118,7 @@ class CollectiveSlot:
             # frozen once ``_done`` and the barrier below keeps them
             # alive until the last consumer is through
             consume(rank, result, self._payloads)
-        with self._cond:
+        with self._lock:
             if consume is not None:
                 self._note_consumed(rank, cleanup, result)
             self._retrieved += 1
@@ -112,26 +131,34 @@ class CollectiveSlot:
                     self._on_finish(self)
             return result
 
+    def _fail_locked(self, exc: BaseException) -> None:
+        """Poison the slot: record the compute failure, drop the payload
+        references, release every waiter, and retire the slot.  Caller
+        holds ``_lock`` and re-raises on its own party."""
+        self._error = exc
+        self._failed = True
+        self._done = True
+        self._payloads.clear()
+        self._monitor.note_progress()
+        self._waitq.notify_all()
+        if self._on_finish is not None:
+            self._on_finish(self)
+
     def _note_consumed(self, rank: int, cleanup, result) -> None:
         """Mark this party's consumption done; the last consumer runs
-        ``cleanup`` and releases everyone.  Caller holds ``_cond``."""
+        ``cleanup`` and releases everyone.  Caller holds ``_lock``."""
         self._consumed += 1
         self._monitor.note_progress()
         if self._consumed == self.parties:
             if cleanup is not None:
                 cleanup(result)
             self._consume_done = True
-            self._cond.notify_all()
+            self._waitq.notify_all()
             return
-        wait_s = Mailbox.FIRST_POLL_S
-        while not self._consume_done:
-            notified = self._cond.wait(timeout=wait_s)
-            wait_s = Mailbox.FIRST_POLL_S if notified \
-                else min(wait_s * 2.0, Mailbox.POLL_S)
-            if not self._consume_done and self._monitor.stalled():
-                raise DeadlockError(
-                    f"rank {rank} waiting for consumers of collective "
-                    f"{self.key!r}: {self._consumed}/{self.parties} done")
+        self._waitq.wait_for(
+            lambda: self._consume_done,
+            lambda: (f"rank {rank} waiting for consumers of collective "
+                     f"{self.key!r}: {self._consumed}/{self.parties} done"))
 
     def consume_barrier(self, rank: int) -> None:
         """Exit barrier for borrowed payloads consumed *outside*
@@ -139,18 +166,19 @@ class CollectiveSlot:
         messages after the rendezvous returns).  Every party calls this
         once; none returns until all have — only then may senders'
         live buffers be mutated again."""
-        with self._cond:
+        with self._lock:
             self._note_consumed(rank, None, None)
 
     @property
     def finished(self) -> bool:
-        """True once every party has retrieved the result.
+        """True once every party has retrieved the result (or the slot
+        was poisoned by a compute failure).
 
         Lock-free read: ``_retrieved`` is a single int updated under
-        the slot condition; avoiding the lock here prevents a
-        cond-vs-slots-lock ordering inversion with the engine's reaper.
+        the slot lock; avoiding the lock here prevents a
+        waitq-vs-slots-lock ordering inversion with the engine's reaper.
         """
-        return self._retrieved == self.parties
+        return self._retrieved == self.parties or self._failed
 
 
 class GroupExchangeSlot(CollectiveSlot):
@@ -171,14 +199,39 @@ class GroupExchangeSlot(CollectiveSlot):
         destination is ``world_rank`` (sender comm-rank order, FIFO per
         sender preserved)."""
         merged = self.exchange(rank, batches, self._merge)
-        return merged.get(world_rank, [])
+        chunks = merged.get(world_rank)
+        if not chunks:
+            return []
+        if len(chunks) == 1:
+            return list(chunks[0])
+        flat: List[Any] = []
+        for msgs in chunks:
+            flat.extend(msgs)
+        return flat
 
     @staticmethod
-    def _merge(payloads: Dict[int, Dict[int, List[Any]]]) -> Dict[int, List[Any]]:
-        out: Dict[int, List[Any]] = {}
+    def _merge(payloads: Dict[int, Dict[int, List[Any]]]
+               ) -> Dict[int, List[List[Any]]]:
+        """Merge per-sender outbound batches into per-destination chunk
+        lists.
+
+        The merge runs on the last-arriving rank while every other
+        party is parked, so it is the serial bottleneck of a P-party
+        group: appending *batch references* keeps it O(P^2) dict/list
+        operations total instead of O(P^2 messages) ``setdefault`` and
+        element-copy churn; each party flattens only its own inbound
+        chunks, in parallel, in :meth:`exchange_for`.  Chunk order is
+        sender comm-rank order, so the flattened stream is identical to
+        the historical per-message merge.
+        """
+        out: Dict[int, List[List[Any]]] = {}
         for sender in sorted(payloads):
             for dst, msgs in payloads[sender].items():
-                out.setdefault(dst, []).extend(msgs)
+                chunk = out.get(dst)
+                if chunk is None:
+                    out[dst] = [msgs]
+                else:
+                    chunk.append(msgs)
         return out
 
 
@@ -274,8 +327,28 @@ class Engine:
         # new run, so start it from zero (tests and back-to-back sweeps
         # must not see a previous engine's counts)
         fastpath.STATS.reset()
+        self._configured_timeout_s = progress_timeout_s
         self.monitor = ProgressMonitor(progress_timeout_s)
-        self._mailboxes = [Mailbox(r, self.monitor) for r in range(self.nranks)]
+        # MPIX_COOP_SCHED selects how ranks are scheduled: freely
+        # running OS threads with polling waits (the default), or
+        # run-queue fibers parked on explicit wait queues — the mode
+        # that keeps 1k-4k-rank jobs tractable.  Wall-clock only:
+        # payloads and virtual times are identical either way.
+        self.coop_sched = fastpath.gate_enabled("coop_sched")
+        if self.coop_sched:
+            self.scheduler: Optional[CoopScheduler] = CoopScheduler(self.monitor)
+            self._waitq_factory = (
+                lambda lock: CoopWaitq(lock, self.monitor, self.scheduler))
+        else:
+            self.scheduler = None
+            self._waitq_factory = (
+                lambda lock: ThreadWaitq(lock, self.monitor))
+        self._patched_mailboxes = 0
+        self._patch_lock = threading.Lock()
+        self._mailboxes = [Mailbox(r, self.monitor, self._waitq_factory)
+                           for r in range(self.nranks)]
+        for mb in self._mailboxes:
+            mb._patch_note = self._note_mailbox_patched
         self._devices = [cluster.device_for_rank(r, ranks_per_node)
                          for r in range(self.nranks)]
         self._slots: Dict[Any, CollectiveSlot] = {}
@@ -297,6 +370,18 @@ class Engine:
     def mailbox_of(self, rank: int) -> Mailbox:
         """Mailbox of ``rank``."""
         return self._mailboxes[rank]
+
+    def _note_mailbox_patched(self, delta: int) -> None:
+        with self._patch_lock:
+            self._patched_mailboxes += delta
+
+    @property
+    def any_mailbox_patched(self) -> bool:
+        """True when any rank's ``Mailbox.post`` is instance-wrapped
+        (fault injection).  O(1): hot paths consult this before paying
+        for a per-party ``patched`` scan, so the common nothing-patched
+        case costs one read instead of O(P) attribute probes."""
+        return self._patched_mailboxes > 0
 
     def device_of(self, rank: int) -> Accelerator:
         """Accelerator assigned to ``rank``."""
@@ -323,7 +408,8 @@ class Engine:
             slot = self._slots.get(key)
             if slot is None or slot.finished:
                 slot = factory(key, parties, self.monitor,
-                               on_finish=self._reap_slot)
+                               on_finish=self._reap_slot,
+                               waitq_factory=self._waitq_factory)
                 self._slots[key] = slot
             if slot.parties != parties:
                 raise SimulationError(
@@ -359,14 +445,26 @@ class Engine:
                 # notice the stall quickly rather than after the timeout
                 self.monitor.timeout_s = min(self.monitor.timeout_s, 2.0)
 
+        # a previous failed run shrank the stall window (above) and may
+        # have latched the deadlock flag; every run starts fresh from
+        # the configured timeout
+        self.monitor.timeout_s = self._configured_timeout_s
+        self.monitor.deadlocked = False
         self.monitor.note_progress()
-        threads = [threading.Thread(target=runner, args=(ctx,),
-                                    name=f"rank{ctx.rank}", daemon=True)
-                   for ctx in self.contexts]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        if self.scheduler is not None:
+            sched = self.scheduler
+            sched.run_ranks([(ctx.rank, (lambda c=ctx: runner(c)))
+                             for ctx in self.contexts])
+            from repro import fastpath
+            fastpath.STATS.note_coop_run(sched.parks, sched.switches)
+        else:
+            threads = [threading.Thread(target=runner, args=(ctx,),
+                                        name=f"rank{ctx.rank}", daemon=True)
+                       for ctx in self.contexts]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
         if failures:
             # deadlocks secondary to a real failure are noise; prefer
             # the primary errors when both kinds are present

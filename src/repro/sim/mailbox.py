@@ -11,12 +11,14 @@ straight to its bucket instead of scanning every pending message, and
 wildcard receives resolve against per-message posting order so the
 "first posted wins" rule is unchanged.
 
-Blocking coordinates with the engine's :class:`ProgressMonitor`: every
-delivery notes progress, and a receiver that waits longer than the
+Blocking goes through a scheduler-selected wait queue
+(:mod:`repro.sim.sched`): under the default thread scheduler it is the
+adaptive condition-variable poll/backoff loop coordinating with the
+engine's :class:`ProgressMonitor` (a receiver that waits past the
 progress timeout without *any* rank making progress declares the run
-deadlocked instead of hanging the test suite.  Waits are adaptive: a
-short first wait (so a fused burst wakes its receivers promptly), then
-exponential backoff toward :data:`Mailbox.POLL_S` while idle.
+deadlocked instead of hanging the test suite); under
+``MPIX_COOP_SCHED`` a blocked receiver parks its fiber — a dict entry
+and a cleared event, no polling at all.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError
+from repro.sim import sched as _sched
 
 #: MPI_ANY_SOURCE analogue.
 ANY_SOURCE = -1
@@ -143,23 +145,51 @@ MatchSpec = Tuple[int, int, Optional[Callable[[Message], bool]]]
 
 
 class Mailbox:
-    """One rank's matched-receive queue."""
+    """One rank's matched-receive queue.
+
+    ``waitq_factory`` (a ``lock -> waitq`` callable) selects the
+    blocking primitive; the engine passes the factory matching its
+    scheduler.  Standalone mailboxes default to the thread waitq.
+    """
 
     #: steady-state polling interval while blocked (wall seconds); only
     #: affects how quickly deadlocks are noticed, never virtual time.
-    POLL_S = 0.02
+    POLL_S = _sched.POLL_S
     #: first (and post-notify) wait: short, so receivers woken by a
     #: fused burst resume almost immediately.
-    FIRST_POLL_S = 0.001
+    FIRST_POLL_S = _sched.FIRST_POLL_S
 
-    def __init__(self, rank: int, monitor: ProgressMonitor) -> None:
+    def __init__(self, rank: int, monitor: ProgressMonitor,
+                 waitq_factory: Optional[Callable] = None) -> None:
         self.rank = rank
         self.monitor = monitor
         self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        if waitq_factory is None:
+            self._waitq = _sched.ThreadWaitq(self._lock, monitor)
+        else:
+            self._waitq = waitq_factory(self._lock)
         #: (src, tag) -> FIFO of (posting order, message)
         self._buckets: Dict[Tuple[int, int], Deque[Tuple[int, Message]]] = {}
         self._next_ord = 0
+        #: engine hook observing (un)patching — see :attr:`patched`
+        self._patch_note: Optional[Callable[[int], None]] = None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        object.__setattr__(self, name, value)
+        if name == "post":
+            # instance-wrapping ``post`` (fault injection) flips this
+            # mailbox to per-message delivery; tell the engine so hot
+            # paths can keep an O(1) nothing-is-patched check
+            note = getattr(self, "_patch_note", None)
+            if note is not None:
+                note(+1)
+
+    def __delattr__(self, name: str) -> None:
+        object.__delattr__(self, name)
+        if name == "post":
+            note = getattr(self, "_patch_note", None)
+            if note is not None:
+                note(-1)
 
     @property
     def patched(self) -> bool:
@@ -180,10 +210,10 @@ class Mailbox:
 
     def post(self, msg: Message) -> None:
         """Deliver ``msg`` (called from the sender's thread)."""
-        with self._cond:
+        with self._lock:
             self._enqueue(msg)
             self.monitor.note_progress()
-            self._cond.notify_all()
+            self._waitq.notify_all()
 
     def post_many(self, msgs: Sequence[Message]) -> None:
         """Deliver a batch under one lock acquisition and one wakeup.
@@ -198,11 +228,11 @@ class Mailbox:
             for msg in msgs:
                 self.post(msg)
             return
-        with self._cond:
+        with self._lock:
             for msg in msgs:
                 self._enqueue(msg)
             self.monitor.note_progress()
-            self._cond.notify_all()
+            self._waitq.notify_all()
 
     # -- matching ----------------------------------------------------------
 
@@ -271,19 +301,19 @@ class Mailbox:
     def match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
               where: Optional[Callable[[Message], bool]] = None) -> Message:
         """Blocking matched receive (FIFO per source/tag pair)."""
-        with self._cond:
-            wait_s = self.FIRST_POLL_S
-            while True:
-                found = self._find(src, tag, where)
-                if found is not None:
-                    return self._pop(found)
-                notified = self._cond.wait(timeout=wait_s)
-                wait_s = self.FIRST_POLL_S if notified \
-                    else min(wait_s * 2.0, self.POLL_S)
-                if self.monitor.stalled():
-                    raise DeadlockError(
-                        f"rank {self.rank} blocked in recv(src={src}, tag={tag}); "
-                        f"no rank made progress for {self.monitor.timeout_s}s")
+        out: List[Message] = []
+
+        def ready() -> bool:
+            found = self._find(src, tag, where)
+            if found is None:
+                return False
+            out.append(self._pop(found))
+            return True
+
+        with self._lock:
+            self._waitq.wait_for(ready, lambda: (
+                f"rank {self.rank} blocked in recv(src={src}, tag={tag})"))
+            return out[0]
 
     def match_many(self, specs: Sequence[MatchSpec]) -> List[Message]:
         """Blocking matched receive of a whole batch.
@@ -299,8 +329,11 @@ class Mailbox:
         remaining = list(range(len(specs)))
         if not remaining:
             return []  # type: ignore[return-value]
-        with self._cond:
-            wait_s = self.FIRST_POLL_S
+
+        def drained() -> bool:
+            # drain every spec that can currently match; a pop may feed
+            # a later wildcard spec, so keep passing until a pass makes
+            # no progress
             while True:
                 progressed = False
                 still: List[int] = []
@@ -312,19 +345,17 @@ class Mailbox:
                         progressed = True
                     else:
                         still.append(idx)
-                remaining = still
+                remaining[:] = still
                 if not remaining:
-                    return results  # type: ignore[return-value]
-                if progressed:
-                    continue  # a pop may have unblocked a later spec
-                notified = self._cond.wait(timeout=wait_s)
-                wait_s = self.FIRST_POLL_S if notified \
-                    else min(wait_s * 2.0, self.POLL_S)
-                if self.monitor.stalled():
-                    raise DeadlockError(
-                        f"rank {self.rank} blocked in fused recv "
-                        f"({len(remaining)}/{len(specs)} outstanding); "
-                        f"no rank made progress for {self.monitor.timeout_s}s")
+                    return True
+                if not progressed:
+                    return False
+
+        with self._lock:
+            self._waitq.wait_for(drained, lambda: (
+                f"rank {self.rank} blocked in fused recv "
+                f"({len(remaining)}/{len(specs)} outstanding)"))
+            return results  # type: ignore[return-value]
 
     @property
     def pending(self) -> int:

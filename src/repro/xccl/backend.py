@@ -277,8 +277,10 @@ class CCLBackend:
             # fault injection wraps Mailbox.post per message; the
             # rendezvous would bypass it, so degrade to the bulk path
             # (patched-ness is identical from every rank's view, so
-            # all parties agree on the transport)
-            use_exchange = not any(
+            # all parties agree on the transport).  The engine-wide
+            # counter keeps the common nothing-is-patched case O(1)
+            # instead of a per-group mailbox scan.
+            use_exchange = not ctx.engine.any_mailbox_patched or not any(
                 ctx.mailbox_of(exchange.world_rank(r)).patched
                 for r in range(exchange.size))
             if not use_exchange:
@@ -454,43 +456,45 @@ class CCLBackend:
                     src=peer_world,
                     where=self._seq_matcher(op.comm.uid, seq)))
 
+        arrivals_in: List[float] = [last]
         if zc_exchange:
             # drain every exchanged view first, then release all
             # senders at the consume barrier; only then may the
             # deferred fallback matches block on late traffic
-            last = self._drain_recvs(
+            self._drain_recvs(
                 ctx, ((op, msg) for op, msg in zip(recv_ops, matched)
-                      if msg is not None), last, transport)
+                      if msg is not None), arrivals_in, transport)
             slot.consume_barrier(exchange.rank)
             for pos, op, peer_world, seq in pending:
                 matched[pos] = ctx.mailbox.match(
                     src=peer_world,
                     where=self._seq_matcher(op.comm.uid, seq))
-            last = self._drain_recvs(
+            self._drain_recvs(
                 ctx, ((op, matched[pos]) for pos, op, _pw, _s in pending),
-                last, "fallback")
+                arrivals_in, "fallback")
         else:
-            last = self._drain_recvs(ctx, zip(recv_ops, matched), last,
-                                     transport)
-        ctx.clock.merge(last)
+            self._drain_recvs(ctx, zip(recv_ops, matched), arrivals_in,
+                              transport)
+        ctx.clock.merge_many(arrivals_in)
         for op in ops:
             op.comm.stream.enqueue(0.0, ctx.now, label="ccl-group")
 
     @staticmethod
-    def _drain_recvs(ctx, pairs, last: float, transport: str = "") -> float:
-        """Copy matched messages into their receive buffers; returns
-        the updated completion watermark.  ``transport`` labels the
-        trace events with the delivery path the batch took."""
+    def _drain_recvs(ctx, pairs, arrivals: List[float],
+                     transport: str = "") -> None:
+        """Copy matched messages into their receive buffers, appending
+        each arrival time to ``arrivals`` (the caller merges the batch's
+        max into its clock in one step).  ``transport`` labels the trace
+        events with the delivery path the batch took."""
         for op, msg in pairs:
             peer_world = op.comm.world_rank(op.peer)
             target = as_array(op.buf)[:op.count]
             target[...] = msg.data if msg.data.dtype == target.dtype \
                 else msg.data.astype(target.dtype)
-            last = max(last, msg.arrival_us)
+            arrivals.append(msg.arrival_us)
             ctx.trace.record("ccl-recv", msg.depart_us, msg.arrival_us,
                              peer=peer_world, nbytes=msg.nbytes,
                              label=transport)
-        return last
 
     # -- fused built-in collectives ------------------------------------------
 

@@ -10,6 +10,9 @@ contract:
   path, so every other combo is compared against it;
 * the MPI-algorithm fallback route (PURE_MPI mode) holds the same
   invariant;
+* the cooperative rank scheduler (``MPIX_COOP_SCHED``) produces the
+  same payloads and virtual times as the thread scheduler, on both
+  routes, under every gate combination;
 * the §3.2 capability checks live in exactly one place
   (``CollectivePipeline.capability``) and still produce the paper's
   fallbacks: HCCL is float-only, no CCL does double-complex.
@@ -108,9 +111,9 @@ def _twelve_collectives_body(mpx):
     return log
 
 
-def _run_under_gates(combo, body, **kw):
+def _run_under_gates(combo, body, coop=False, **kw):
     prev = fastpath.configure(plan_cache=combo[0], group_fusion=combo[1],
-                              zero_copy=combo[2])
+                              zero_copy=combo[2], coop_sched=coop)
     try:
         return runtime.run(body, nodes=1, **kw)
     finally:
@@ -154,6 +157,38 @@ def test_all_collectives_all_gates_bit_identical_ccl(system, backend, nranks):
     baseline = results[(False, False, False)]
     for combo in GATE_COMBOS[1:]:
         _assert_bit_identical(baseline, results[combo], combo, nranks)
+
+
+@pytest.mark.parametrize("system,backend,nranks", STACKS,
+                         ids=[f"{s}-{b or 'native'}" for s, b, _ in STACKS])
+def test_coop_scheduler_bit_identical_ccl(system, backend, nranks):
+    """The cooperative scheduler (``MPIX_COOP_SCHED``) against the
+    thread scheduler: payloads and virtual times bit-identical for all
+    12 collectives under every fast-path gate combination.  Scheduling
+    may only change *when wall-clock work happens*, never what a
+    collective computes or costs."""
+    baseline = _run_under_gates(
+        (False, False, False), _twelve_collectives_body, system=system,
+        ranks_per_node=nranks, backend=backend, mode=DispatchMode.PURE_XCCL)
+    for combo in GATE_COMBOS:
+        candidate = _run_under_gates(
+            combo, _twelve_collectives_body, coop=True, system=system,
+            ranks_per_node=nranks, backend=backend,
+            mode=DispatchMode.PURE_XCCL)
+        _assert_bit_identical(baseline, candidate, combo + ("coop",), nranks)
+
+
+def test_coop_scheduler_bit_identical_mpi_fallback():
+    """The same thread-vs-fiber invariant on the MPI-algorithm route,
+    whose point-to-point protocols block far more often per call."""
+    baseline = _run_under_gates(
+        (False, False, False), _twelve_collectives_body, system="thetagpu",
+        ranks_per_node=4, mode=DispatchMode.PURE_MPI)
+    for combo in GATE_COMBOS:
+        candidate = _run_under_gates(
+            combo, _twelve_collectives_body, coop=True, system="thetagpu",
+            ranks_per_node=4, mode=DispatchMode.PURE_MPI)
+        _assert_bit_identical(baseline, candidate, combo + ("coop",), 4)
 
 
 def test_all_collectives_all_gates_bit_identical_mpi_fallback():
