@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-all check-gates scale-smoke trace-smoke report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-all check-gates scale-smoke trace-smoke hier-smoke report examples tune clean
 
 install:
 	pip install -e .
@@ -46,8 +46,13 @@ bench-zerocopy:
 bench-engine:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scale.py
 
+# flat vs node-leader vs pipelined hierarchy at 8 -> 512 ranks
+# (several minutes; the 512-rank legs dominate)
+bench-hier:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hier_scale.py
+
 # refresh every committed BENCH_*.json in one go
-bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine
+bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier
 
 # tier-1 suite with each fast-path gate individually toggled: every
 # optimisation must be pure wall-clock, invisible to results
@@ -57,6 +62,7 @@ check-gates:
 	MPIX_ZERO_COPY=0 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_TRACE=1 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_COOP_SCHED=1 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_HIER_PIPE=1 $(PYTHON) -m pytest tests/ -x -q
 
 # fast CI leg: a 256-rank oversubscribed job must stay quick and
 # bit-identical under both rank schedulers
@@ -79,6 +85,18 @@ trace-smoke:
 		--iterations 2 --warmup 1 --trace $(TRACE_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(TRACE_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(TRACE_SMOKE)
+
+# hierarchical-route CI leg: a traced multi-node NIC-striped sweep,
+# validated end to end (routing counters + trace well-formedness)
+HIER_SMOKE ?= /tmp/mpix-hier-smoke.json
+hier-smoke:
+	MPIX_HIER_PIPE=1 MPIX_COOP_SCHED=1 PYTHONPATH=src \
+		$(PYTHON) -m repro.omb.cli allreduce bcast \
+		--system thetagpu --topology 4x8 --nics 8 \
+		--sizes 2M:8M --iterations 2 --warmup 1 --stats \
+		--trace $(HIER_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(HIER_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(HIER_SMOKE)
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

@@ -43,7 +43,7 @@ from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
 from repro.core.plan import CollectivePlan, PlanCache
 from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
 from repro.core import sendrecv_collectives as srcoll
-from repro.mpi.coll import MPICollDispatcher
+from repro.mpi.coll import MPICollDispatcher, hier_exec
 from repro.mpi.communicator import IN_PLACE
 from repro.xccl import api as xapi
 
@@ -424,9 +424,9 @@ class CollectivePipeline:
         """One uncached walk of the Fig. 2 decision chain."""
         decision = self._route(comm, coll, nbytes, dt, op, significant,
                                on_device)
-        self._mark(f"route:{decision.route.value}"
-                   if decision.route == Route.XCCL
-                   else f"route:mpi:{decision.reason.value}")
+        self._mark(f"route:mpi:{decision.reason.value}"
+                   if decision.route == Route.MPI
+                   else f"route:{decision.route.value}")
         return decision
 
     def _route(self, comm, coll: str, nbytes: int, dt, op, significant,
@@ -438,6 +438,13 @@ class CollectivePipeline:
                                             on_device)
         if fallback is not None:
             return fallback
+        if (self.mode == DispatchMode.HYBRID
+                and fastpath.hier_pipe_enabled()
+                and coll in hier_exec.HIER_TUNING_KEYS
+                and nbytes >= hier_exec.hier_min_bytes(coll)
+                and (op is None or op.commutative)
+                and hier_exec.hier_eligible(comm)):
+            return RouteDecision(Route.HIER)
         if self.mode == DispatchMode.PURE_XCCL:
             return RouteDecision(Route.XCCL)
         if self._table_for(comm).choose(coll, nbytes) == "xccl":
@@ -494,6 +501,21 @@ class CollectivePipeline:
         the argument exactly when a CCL error forced the fallback)."""
         ctx = self.layer.ctx
         t0 = ctx.now
+        if decision.route == Route.HIER:
+            fn = hier_exec.EXECUTORS.get(call.coll)
+            if fn is None:
+                # a vector sibling replayed its uniform tuning key's
+                # cached HIER plan — degrade to the flat CCL route
+                decision = RouteDecision(Route.XCCL)
+            else:
+                try:
+                    fn(self, call)
+                    self._record(decision, spec)
+                    self._span(call, spec, decision, t0)
+                    return decision
+                except CCLError:
+                    decision = RouteDecision(Route.MPI,
+                                             FallbackReason.CCL_ERROR)
         if decision.route == Route.XCCL:
             try:
                 spec.ccl(self.layer, call)
@@ -510,13 +532,15 @@ class CollectivePipeline:
     def _span(self, call: CollectiveCall, spec: CollectiveSpec,
               decision: RouteDecision, t0: float) -> None:
         """Record the execute-stage span (the whole collective) with the
-        route the call actually took — ``execute:<coll>:xccl:<backend>``
-        or ``execute:<coll>:mpi:<reason>``."""
+        route the call actually took — ``execute:<coll>:xccl:<backend>``,
+        ``execute:<coll>:hier``, or ``execute:<coll>:mpi:<reason>``."""
         ctx = self.layer.ctx
         if not ctx.trace.enabled:
             return
         if decision.route == Route.XCCL:
             label = f"execute:{call.coll}:xccl:{self.layer.backend_name}"
+        elif decision.route == Route.HIER:
+            label = f"execute:{call.coll}:hier"
         else:
             label = f"execute:{call.coll}:mpi:{decision.reason.value}"
         ctx.trace.record("dispatch", t0, ctx.now,
@@ -527,7 +551,8 @@ class CollectivePipeline:
         fastpath.STATS.note_dispatch(
             xccl=decision.route == Route.XCCL,
             fallback=decision.is_fallback,
-            ccl_error=decision.reason == FallbackReason.CCL_ERROR)
+            ccl_error=decision.reason == FallbackReason.CCL_ERROR,
+            hier=decision.route == Route.HIER)
 
     # -- the whole pipe -----------------------------------------------------
 

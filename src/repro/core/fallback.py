@@ -20,6 +20,7 @@ class Route(enum.Enum):
 
     XCCL = "xccl"
     MPI = "mpi"
+    HIER = "hier"      # pipelined hierarchical executor (MPIX_HIER_PIPE)
 
 
 class FallbackReason(enum.Enum):
@@ -57,12 +58,15 @@ class RouteStats:
     def __init__(self) -> None:
         self.xccl_calls = 0
         self.mpi_calls = 0
+        self.hier_calls = 0
         self.fallbacks: Counter = Counter()
 
     def record(self, decision: RouteDecision, coll: str) -> None:
         """Count one decision."""
         if decision.route == Route.XCCL:
             self.xccl_calls += 1
+        elif decision.route == Route.HIER:
+            self.hier_calls += 1
         else:
             self.mpi_calls += 1
             if decision.is_fallback:
@@ -76,6 +80,8 @@ class RouteStats:
     def summary(self) -> str:
         """Human-readable one-liner."""
         parts = [f"xccl={self.xccl_calls}", f"mpi={self.mpi_calls}"]
+        if self.hier_calls:
+            parts.append(f"hier={self.hier_calls}")
         for (coll, reason), n in sorted(self.fallbacks.items(),
                                         key=lambda kv: str(kv[0])):
             parts.append(f"fallback[{coll}/{reason.value}]={n}")

@@ -41,7 +41,19 @@ threads — the mode that makes 1k–4k-rank jobs tractable.  Scheduling
 is wall-clock only: payloads and virtual times are bit-identical with
 the gate on or off.
 
-All five gates live in one registry (:data:`GATE_ENV`) keyed by the
+The pipelined hierarchical executor (``MPIX_HIER_PIPE`` /
+:func:`set_hier_pipe_enabled`) is the sixth gate, default off: the
+dispatch pipeline's route stage may decompose large multi-node
+allreduce / bcast / allgather / reduce_scatter calls into per-level
+plans (intra-node xCCL → striped inter-node phase → intra-node
+fan-out) with chunks pipelined through the levels
+(:mod:`repro.mpi.coll.hier_exec`).  Unlike the wall-clock gates it
+*changes virtual times* on multi-node communicators (that is the
+point — it is a routing optimisation, like the tuning table); payloads
+stay bit-identical, and on single-node communicators the route is
+never chosen, so the gate is provably inert there.
+
+All six gates live in one registry (:data:`GATE_ENV`) keyed by the
 dispatch-pipeline stage they toggle, and are queried through the single
 :func:`gate_enabled` choke point.  :func:`configure` flips any subset
 and returns the previous states (restore with ``configure(**prev)``);
@@ -67,13 +79,16 @@ GATE_ENV: Dict[str, str] = {
     "zero_copy": "MPIX_ZERO_COPY",         # payload handoff by view
     "trace": "MPIX_TRACE",                 # per-rank event tracing
     "coop_sched": "MPIX_COOP_SCHED",       # cooperative rank scheduler
+    "hier_pipe": "MPIX_HIER_PIPE",         # pipelined hierarchical route
 }
 
 #: gates that default off when their variable is unset (tracing costs
 #: memory per event, so it is opt-in; the cooperative scheduler changes
-#: the engine's execution model, so it is opt-in too; the wall-clock
-#: gates default on).
-_GATE_DEFAULTS: Dict[str, str] = {"trace": "0", "coop_sched": "0"}
+#: the engine's execution model, so it is opt-in too; the hierarchical
+#: route changes multi-node virtual times, so it is opt-in as well; the
+#: wall-clock gates default on).
+_GATE_DEFAULTS: Dict[str, str] = {"trace": "0", "coop_sched": "0",
+                                  "hier_pipe": "0"}
 
 
 def _env_gate(var: str, default: str = "1") -> bool:
@@ -100,7 +115,8 @@ def configure(plan_cache: Optional[bool] = None,
               group_fusion: Optional[bool] = None,
               zero_copy: Optional[bool] = None,
               trace: Optional[bool] = None,
-              coop_sched: Optional[bool] = None) -> Dict[str, bool]:
+              coop_sched: Optional[bool] = None,
+              hier_pipe: Optional[bool] = None) -> Dict[str, bool]:
     """Set any subset of the fast-path gates at once.
 
     Returns the *previous* state of every gate, so a caller can restore
@@ -112,7 +128,8 @@ def configure(plan_cache: Optional[bool] = None,
                        ("group_fusion", group_fusion),
                        ("zero_copy", zero_copy),
                        ("trace", trace),
-                       ("coop_sched", coop_sched)):
+                       ("coop_sched", coop_sched),
+                       ("hier_pipe", hier_pipe)):
         if flag is not None:
             _gates[name] = bool(flag)
     return prev
@@ -186,6 +203,22 @@ def set_coop_sched_enabled(flag: bool) -> bool:
     return configure(coop_sched=flag)["coop_sched"]
 
 
+def hier_pipe_enabled() -> bool:
+    """Whether the route stage may choose the pipelined hierarchical
+    executor (``MPIX_HIER_PIPE``).
+
+    Only multi-node communicators with more than one rank on a node are
+    eligible (:func:`repro.mpi.coll.hier_exec.placement`); everything
+    else routes exactly as with the gate off."""
+    return _gates["hier_pipe"]
+
+
+def set_hier_pipe_enabled(flag: bool) -> bool:
+    """Flip the hierarchical route on or off; returns the previous
+    setting."""
+    return configure(hier_pipe=flag)["hier_pipe"]
+
+
 class PlanStats:
     """Hit/miss/compile counters for the plan-caching layer.
 
@@ -216,6 +249,10 @@ class PlanStats:
         self.route_mpi = 0          # execute stage ran an MPI algorithm
         self.route_fallbacks = 0    # capability fallbacks (§3.2), not tuning
         self.ccl_errors = 0         # runtime CCL errors rescued by MPI
+        #: hierarchical-executor counters (MPIX_HIER_PIPE):
+        self.route_hier = 0         # execute stage ran the hierarchical plan
+        self.hier_chunks = 0        # payload chunks pipelined through levels
+        self.hier_stripe_ops = 0    # inter-node stripe collectives issued
         #: cooperative-scheduler counters (MPIX_COOP_SCHED):
         self.coop_runs = 0          # engine runs under the coop scheduler
         self.coop_parks = 0         # fiber deschedules (blocked waits)
@@ -274,11 +311,13 @@ class PlanStats:
             self.accumulator_reuses += 1
 
     def note_dispatch(self, xccl: bool, fallback: bool = False,
-                      ccl_error: bool = False) -> None:
+                      ccl_error: bool = False, hier: bool = False) -> None:
         """Record one collective leaving the pipeline's execute stage."""
         with self._lock:
             self.dispatch_calls += 1
-            if xccl:
+            if hier:
+                self.route_hier += 1
+            elif xccl:
                 self.route_xccl += 1
             else:
                 self.route_mpi += 1
@@ -286,6 +325,14 @@ class PlanStats:
                     self.route_fallbacks += 1
                 if ccl_error:
                     self.ccl_errors += 1
+
+    def note_hier(self, chunks: int, stripe_ops: int) -> None:
+        """Record one hierarchical plan execution: how many payload
+        chunks it pipelined and how many inter-node stripe collectives
+        it issued (the per-NIC flows)."""
+        with self._lock:
+            self.hier_chunks += chunks
+            self.hier_stripe_ops += stripe_ops
 
     def note_coop_run(self, parks: int, switches: int) -> None:
         """Record one engine run under the cooperative scheduler (the
@@ -306,6 +353,7 @@ class PlanStats:
             self.accumulator_reuses = 0
             self.dispatch_calls = self.route_xccl = self.route_mpi = 0
             self.route_fallbacks = self.ccl_errors = 0
+            self.route_hier = self.hier_chunks = self.hier_stripe_ops = 0
             self.coop_runs = self.coop_parks = self.coop_switches = 0
 
     def snapshot(self) -> Dict[str, int]:
@@ -326,6 +374,9 @@ class PlanStats:
                     "route_mpi": self.route_mpi,
                     "route_fallbacks": self.route_fallbacks,
                     "ccl_errors": self.ccl_errors,
+                    "route_hier": self.route_hier,
+                    "hier_chunks": self.hier_chunks,
+                    "hier_stripe_ops": self.hier_stripe_ops,
                     "coop_runs": self.coop_runs,
                     "coop_parks": self.coop_parks,
                     "coop_switches": self.coop_switches}

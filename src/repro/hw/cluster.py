@@ -174,7 +174,10 @@ class Cluster:
         * bus intra-node (PCIe) — the node-wide bus, shared by every
           pair, direction-tagged;
         * inter-node — the source NIC egress and destination NIC
-          ingress.
+          ingress.  Multi-rail nodes (``Node.nics > 1``) map each
+          device to rail ``local_index % nics``, so flows from
+          different devices occupy distinct NIC channels and leave
+          the node in parallel.
         """
         if src.global_id == dst.global_id:
             return []
@@ -188,7 +191,9 @@ class Cluster:
             # shared bus: every pair contends; tag by src-side direction
             return [("bus", ni, src.local_index, "out"),
                     ("bus", ni, dst.local_index, "in")]
-        return [("nic", ni, "out"), ("nic", nj, "in")]
+        rail_out = src.local_index % self.nodes[ni].nics
+        rail_in = dst.local_index % self.nodes[nj].nics
+        return [("nic", ni, rail_out, "out"), ("nic", nj, rail_in, "in")]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<Cluster {self.name}: {self.node_count} nodes x "

@@ -28,17 +28,25 @@ class Node:
         switched: True when devices connect through a switch
             (NVSwitch) giving every device its own full-bandwidth
             port; False for a shared bus (PCIe).
+        nics: number of network adapters (rails).  Each NIC is an
+            independent inter-node channel with the ``nic`` link
+            model; devices map to rails by ``local_index % nics``,
+            so striped flows from different devices leave the node
+            in parallel (DGX-A100-style multi-rail).
     """
 
     def __init__(self, name: str, cpu: HostCPU, devices: List[Accelerator],
                  intra_link: LinkModel, nic: LinkModel,
-                 switched: bool = True) -> None:
+                 switched: bool = True, nics: int = 1) -> None:
+        if nics < 1:
+            raise TopologyError(f"{name}: nics must be >= 1, got {nics}")
         self.name = name
         self.cpu = cpu
         self.devices = list(devices)
         self.intra_link = intra_link
         self.nic = nic
         self.switched = switched
+        self.nics = nics
         self.host_link = HOST_MEMCPY
         for i, dev in enumerate(self.devices):
             dev.local_index = i

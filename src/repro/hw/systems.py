@@ -12,7 +12,7 @@ Three clusters are modeled, one per vendor:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.hw.cluster import Cluster
@@ -57,21 +57,27 @@ def _gaudi() -> Accelerator:
                        fp32_tflops=19.0)
 
 
-def thetagpu(nodes: int = 1) -> Cluster:
-    """ThetaGPU: ``nodes`` DGX A100 nodes (max 24 in the real system)."""
+def thetagpu(nodes: int = 1, nics: int = 1) -> Cluster:
+    """ThetaGPU: ``nodes`` DGX A100 nodes (max 24 in the real system).
+
+    ``nics`` selects the rail count; the physical DGX A100 carries
+    eight ConnectX-6 HCAs, but single-rail stays the default so the
+    calibrated single-NIC virtual times are untouched unless a run
+    opts into multi-rail explicitly.
+    """
     if not 1 <= nodes <= 24:
         raise ConfigError(f"ThetaGPU has 1..24 nodes, asked for {nodes}")
     cpu = HostCPU("AMD EPYC 7742", sockets=2, cores_per_socket=64,
                   memory_bytes=1 * TB)
     node_list = [
         Node(f"thetagpu{n:02d}", cpu, [_a100() for _ in range(8)],
-             intra_link=NVSWITCH, nic=IB_HDR, switched=True)
+             intra_link=NVSWITCH, nic=IB_HDR, switched=True, nics=nics)
         for n in range(nodes)
     ]
     return Cluster("thetagpu", node_list, fabric=IB_HDR)
 
 
-def mri(nodes: int = 1) -> Cluster:
+def mri(nodes: int = 1, nics: int = 1) -> Cluster:
     """MRI: in-house AMD cluster, 2 MI100 per node on PCIe."""
     if not 1 <= nodes <= 16:
         raise ConfigError(f"MRI has 1..16 nodes, asked for {nodes}")
@@ -79,13 +85,13 @@ def mri(nodes: int = 1) -> Cluster:
                   memory_bytes=256 * GB)
     node_list = [
         Node(f"mri{n:02d}", cpu, [_mi100() for _ in range(2)],
-             intra_link=PCIE_MRI, nic=IB_HDR, switched=False)
+             intra_link=PCIE_MRI, nic=IB_HDR, switched=False, nics=nics)
         for n in range(nodes)
     ]
     return Cluster("mri", node_list, fabric=IB_HDR)
 
 
-def voyager(nodes: int = 1) -> Cluster:
+def voyager(nodes: int = 1, nics: int = 1) -> Cluster:
     """Voyager: 8 Habana Gaudi per node, 400G Arista fabric."""
     if not 1 <= nodes <= 42:
         raise ConfigError(f"Voyager has 1..42 nodes, asked for {nodes}")
@@ -93,13 +99,13 @@ def voyager(nodes: int = 1) -> Cluster:
                   memory_bytes=512 * GB)
     node_list = [
         Node(f"voyager{n:02d}", cpu, [_gaudi() for _ in range(8)],
-             intra_link=GAUDI_ROCE, nic=ETH_400G, switched=True)
+             intra_link=GAUDI_ROCE, nic=ETH_400G, switched=True, nics=nics)
         for n in range(nodes)
     ]
     return Cluster("voyager", node_list, fabric=ETH_400G)
 
 
-def aurora(nodes: int = 1) -> Cluster:
+def aurora(nodes: int = 1, nics: int = 1) -> Cluster:
     """Aurora-class Intel system (extension, paper §6 future work):
     6 Ponte Vecchio GPUs per node on Xe-Link, Slingshot-11 fabric.
 
@@ -112,7 +118,7 @@ def aurora(nodes: int = 1) -> Cluster:
                   memory_bytes=512 * GB)
     node_list = [
         Node(f"aurora{n:03d}", cpu, [_pvc() for _ in range(6)],
-             intra_link=XE_LINK, nic=SLINGSHOT, switched=True)
+             intra_link=XE_LINK, nic=SLINGSHOT, switched=True, nics=nics)
         for n in range(nodes)
     ]
     return Cluster("aurora", node_list, fabric=SLINGSHOT)
@@ -131,8 +137,12 @@ def system_names() -> List[str]:
     return sorted(_SYSTEMS)
 
 
-def make_system(name: str, nodes: int = 1) -> Cluster:
+def make_system(name: str, nodes: int = 1, nics: Optional[int] = None) -> Cluster:
     """Build a named system with ``nodes`` nodes.
+
+    ``nics`` overrides the per-node rail count (default: each
+    preset's single-rail baseline, which keeps calibrated virtual
+    times untouched).
 
     >>> make_system("thetagpu", 2).device_count
     16
@@ -142,7 +152,9 @@ def make_system(name: str, nodes: int = 1) -> Cluster:
     except KeyError:
         raise ConfigError(
             f"unknown system {name!r}; expected one of {system_names()}") from None
-    return factory(nodes)
+    if nics is None:
+        return factory(nodes)
+    return factory(nodes, nics=nics)
 
 
 #: Table 1 of the paper, as data (used by the table1 experiment).

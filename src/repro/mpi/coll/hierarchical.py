@@ -31,8 +31,17 @@ def node_comms(comm) -> Tuple[object, Optional[object]]:
     cluster = comm.ctx.cluster
     my_node = cluster.node_index_of(comm.ctx.device)
     local = comm.Split(color=my_node, key=comm.rank)
-    is_leader = local.rank == 0
-    leaders = comm.Split(color=0 if is_leader else -1, key=comm.rank)
+    try:
+        is_leader = local.rank == 0
+        leaders = comm.Split(color=0 if is_leader else -1, key=comm.rank)
+        if not is_leader and leaders is not None:
+            # MPI_UNDEFINED must yield MPI_COMM_NULL; a live handle on a
+            # non-leader would dangle (no rank ever frees it)
+            leaders.Free()
+            leaders = None
+    except BaseException:
+        local.Free()
+        raise
     comm._hier_comms = (local, leaders)
     return comm._hier_comms
 

@@ -93,8 +93,11 @@ class Communicator:
     def Free(self) -> None:
         """Release the communicator (``MPI_Comm_free``).
 
-        Also frees the cached hierarchical sub-communicators (see
-        :func:`repro.mpi.coll.hierarchical.node_comms`) and tells the
+        Also frees the cached hierarchical sub-communicators — both the
+        legacy node-leader pair (see
+        :func:`repro.mpi.coll.hierarchical.node_comms`) and the
+        pipelined-hierarchy topology (see
+        :func:`repro.mpi.coll.hier_exec.topology`) — and tells the
         dispatcher to drop compiled plans / CCL state for this
         communicator.
         """
@@ -106,6 +109,9 @@ class Communicator:
             for sub in hier:
                 if sub is not None:
                     sub.Free()
+        if "_hier_topo" in self.__dict__ or "_hier_info" in self.__dict__:
+            from repro.mpi.coll.hier_exec import release_topology
+            release_topology(self)
         release = getattr(self.coll, "release", None)
         if release is not None:
             release(self)

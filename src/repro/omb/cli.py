@@ -7,6 +7,7 @@ Examples::
     mpix-omb alltoall --system mri --nodes 2 --stack ccl --sizes 4:64K
     mpix-omb allreduce alltoallv --trace out.json   # one traced run
     mpix-omb allreduce --nodes 4 --ranks 64,256,1024  # scale sweep
+    mpix-omb allreduce --topology 8x8 --nics 8        # multi-rail hier
 
 Several collective benchmarks may be named at once: they run back to
 back on one engine (one virtual timeline), which is what makes a
@@ -15,6 +16,11 @@ single ``--trace`` file cover the whole sweep.
 ``--ranks`` accepts a comma-separated list for rank-count scaling
 sweeps; counts beyond the cluster's device count oversubscribe nodes
 automatically (``MPIX_COOP_SCHED=1`` keeps 1k-4k-rank sweeps fast).
+
+``--topology NODESxGPUS`` (e.g. ``8x8``) is shorthand for ``--nodes N
+--ranks-per-node G``; with ``--nics`` it builds multi-rail nodes, the
+shape the ``MPIX_HIER_PIPE`` striped hierarchy is designed for
+(``--stats`` then shows the ``route_hier``/``hier_*`` counters).
 """
 
 from __future__ import annotations
@@ -88,6 +94,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "device count oversubscribe nodes. default: one "
                         "per device (2 for pt2pt)")
     parser.add_argument("--ranks-per-node", type=int, default=None)
+    parser.add_argument("--topology", default=None, metavar="NODESxGPUS",
+                        help="cluster shape shorthand, e.g. 8x8 = "
+                        "--nodes 8 --ranks-per-node 8")
+    parser.add_argument("--nics", type=int, default=None,
+                        help="NIC rails per node (default: the system's "
+                        "single-rail calibration)")
     parser.add_argument("--backend", default=None,
                         help="CCL backend (default: the system's native)")
     parser.add_argument("--stack", default="hybrid", choices=STACK_NAMES,
@@ -104,6 +116,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "Perfetto JSON timeline to PATH")
 
     args = parser.parse_args(argv)
+    if args.topology is not None:
+        parts = args.topology.lower().replace("×", "x").split("x")
+        try:
+            t_nodes, t_gpus = (int(p) for p in parts)
+            if t_nodes <= 0 or t_gpus <= 0:
+                raise ValueError
+        except ValueError:
+            parser.error(f"--topology must be NODESxGPUS (e.g. 8x8), "
+                         f"got {args.topology!r}")
+        if args.nodes != parser.get_default("nodes") \
+                or args.ranks_per_node is not None:
+            parser.error("--topology conflicts with --nodes/--ranks-per-node")
+        args.nodes, args.ranks_per_node = t_nodes, t_gpus
+    if args.nics is not None and args.nics < 1:
+        parser.error("--nics must be >= 1")
     known = set(COLLECTIVE_BENCHMARKS) | set(PT2PT)
     unknown = [b for b in args.benchmarks if b not in known]
     if unknown:
@@ -132,7 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lo, hi = (parse_size(p) for p in args.sizes.split(":"))
     config = OMBConfig(sizes=tuple(power_of_two_sizes(lo, hi)),
                        warmup=args.warmup, iterations=args.iterations)
-    cluster = make_system(args.system, args.nodes)
+    cluster = make_system(args.system, args.nodes, nics=args.nics)
     backend = args.backend or default_ccl_for(cluster.devices[0].vendor)
 
     if args.benchmarks[0] in PT2PT:

@@ -19,6 +19,8 @@ Event kinds by layer:
   (``validate:*``, ``capability:*``, ``route:*``, ``plan:*``);
 * ``dispatch`` — the pipeline's execute stage, spanning the whole
   collective (label ``execute:<coll>:<route>...``);
+* ``hier`` — one level of the pipelined hierarchical executor (labels
+  ``hier:<coll>:intra:*`` / ``hier:<coll>:inter``, ``MPIX_HIER_PIPE``);
 * ``step`` — application step boundaries (the Horovod trainer).
 
 :mod:`repro.sim.timeline` exports traces as Chrome/Perfetto JSON, and

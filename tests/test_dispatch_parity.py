@@ -15,7 +15,10 @@ contract:
   routes, under every gate combination;
 * the §3.2 capability checks live in exactly one place
   (``CollectivePipeline.capability``) and still produce the paper's
-  fallbacks: HCCL is float-only, no CCL does double-complex.
+  fallbacks: HCCL is float-only, no CCL does double-complex;
+* the hierarchy gate (``MPIX_HIER_PIPE``) is provably inert on one
+  node (payloads and times), changes only *times* across nodes, and
+  is scheduler-independent to the bit.
 """
 
 from __future__ import annotations
@@ -317,6 +320,112 @@ def test_dispatch_stage_counters():
     assert counters["route_mpi"] == 2 * 4
     assert counters["route_fallbacks"] == 4
     assert counters["ccl_errors"] == 0
+
+
+#: the four uniform collectives the hierarchy executor covers, at a
+#: payload at the reduction-collective routing crossover (2 MiB);
+#: bcast's higher crossover keeps it on the flat route here, which the
+#: parity pins cover too — the route stage must decline identically on
+#: every rank
+HIER_N = (2 << 20) // 4
+
+
+def _hier_collectives_body(mpx):
+    """The four hierarchy-eligible collectives at an inter-node payload
+    size; returns (payload bytes, virtual clock) after each."""
+    comm = mpx.COMM_WORLD
+    ctx = comm.ctx
+    p, rank = comm.size, comm.rank
+    log = []
+
+    def snap(buf):
+        log.append((buf.array.tobytes(), ctx.now))
+
+    rng = np.random.default_rng(41 + rank)
+    send = mpx.device_array(HIER_N)
+    send.array[:] = rng.integers(0, 5, HIER_N)  # exact under reassociation
+    recv = mpx.device_array(HIER_N, fill=0.0)
+    comm.Allreduce(send, recv, SUM)
+    snap(recv)
+    buf = mpx.device_array(HIER_N, fill=0.0)
+    if rank == 1:
+        buf.array[:] = rng.integers(0, 5, HIER_N)
+    comm.Bcast(buf, root=1)
+    snap(buf)
+    ag = mpx.device_array(HIER_N * p, fill=0.0)
+    comm.Allgather(send, ag)
+    snap(ag)
+    rs_in = mpx.device_array(HIER_N * p)
+    rs_in.array[:] = rng.integers(0, 5, HIER_N * p)
+    rs_out = mpx.device_array(HIER_N, fill=0.0)
+    comm.Reduce_scatter_block(rs_in, rs_out, SUM)
+    snap(rs_out)
+    return log
+
+
+def _run_hier(hier, coop=False, combo=(True, True, True)):
+    from repro.hw.systems import make_system
+    prev = fastpath.configure(plan_cache=combo[0], group_fusion=combo[1],
+                              zero_copy=combo[2], coop_sched=coop,
+                              hier_pipe=hier)
+    fastpath.STATS.reset()
+    try:
+        cluster = make_system("thetagpu", 2, nics=4)
+        out = runtime.run(_hier_collectives_body, system=cluster,
+                          nranks=8, ranks_per_node=4)
+        return out, fastpath.STATS.snapshot()
+    finally:
+        fastpath.configure(**prev)
+
+
+def test_hier_gate_inert_single_node():
+    """On one node ``MPIX_HIER_PIPE`` must be provably inert: payloads
+    AND virtual times bit-identical to the gate-off run, under every
+    combination of the other three gates."""
+    baseline = _run_under_gates((False, False, False),
+                                _twelve_collectives_body,
+                                system="thetagpu", ranks_per_node=4)
+    prev = fastpath.configure(hier_pipe=True)
+    try:
+        for combo in GATE_COMBOS:
+            fastpath.STATS.reset()
+            candidate = _run_under_gates(combo, _twelve_collectives_body,
+                                         system="thetagpu", ranks_per_node=4)
+            assert fastpath.STATS.snapshot()["route_hier"] == 0
+            _assert_bit_identical(baseline, candidate,
+                                  combo + ("hier",), 4)
+    finally:
+        fastpath.configure(**prev)
+
+
+def test_hier_multi_node_payload_parity():
+    """Across nodes the hierarchy route must change *times only*:
+    payloads stay bit-identical to the flat route, and the route
+    counters prove the hierarchy actually ran."""
+    off, snap_off = _run_hier(hier=False)
+    on, snap_on = _run_hier(hier=True)
+    assert snap_off["route_hier"] == 0
+    assert snap_on["route_hier"] > 0
+    assert snap_on["hier_stripe_ops"] > 0
+    for rank, (a, b) in enumerate(zip(off, on)):
+        for i, ((data_a, _), (data_b, _)) in enumerate(zip(a, b)):
+            assert data_a == data_b, \
+                f"hier: rank {rank} payload {i} differs from flat"
+
+
+def test_hier_multi_node_coop_bit_identical():
+    """With the hierarchy gate on, the cooperative scheduler must agree
+    with the thread scheduler to the bit — payloads and virtual
+    times — under every combination of the other gates."""
+    for combo in [(False, False, False), (True, True, True)]:
+        thread, _ = _run_hier(hier=True, combo=combo)
+        coop, _ = _run_hier(hier=True, coop=True, combo=combo)
+        for rank, (a, b) in enumerate(zip(thread, coop)):
+            for i, ((da, ta), (db, tb)) in enumerate(zip(a, b)):
+                assert da == db, \
+                    f"gates={combo}: rank {rank} payload {i} differs"
+                assert ta == tb, \
+                    f"gates={combo}: rank {rank} clock after op {i} differs"
 
 
 def test_configure_restores():

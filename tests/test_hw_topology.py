@@ -119,8 +119,17 @@ class TestCluster:
     def test_transfer_resources_inter(self, thetagpu2):
         c = thetagpu2
         res = c.transfer_resources(c.devices[0], c.devices[8])
-        assert ("nic", 0, "out") in res
-        assert ("nic", 1, "in") in res
+        assert ("nic", 0, 0, "out") in res
+        assert ("nic", 1, 0, "in") in res
+
+    def test_transfer_resources_multi_rail(self):
+        from repro.hw.systems import make_system
+        c = make_system("thetagpu", 2, nics=4)
+        # devices map to rails round-robin by local index: flows from
+        # different devices leave on different NICs and don't contend
+        res = c.transfer_resources(c.devices[1], c.devices[8 + 5])
+        assert ("nic", 0, 1, "out") in res
+        assert ("nic", 1, 5 % 4, "in") in res
 
     def test_transfer_resources_local_empty(self, thetagpu2):
         c = thetagpu2

@@ -75,8 +75,14 @@ class TestPipelineStageTracing:
     """Tentpole: the five pipeline stages each leave a trace marker."""
 
     def test_all_five_stages_marked_on_hybrid_run(self, thetagpu1):
-        engine, _ = _run_traced(
-            thetagpu1, _allreduce_body(DispatchMode.HYBRID))
+        # the plan:miss/plan:hit markers need the plan-cache gate on —
+        # pin it so the check-gates MPIX_PLAN_CACHE=0 leg passes too
+        prev = fastpath.configure(plan_cache=True)
+        try:
+            engine, _ = _run_traced(
+                thetagpu1, _allreduce_body(DispatchMode.HYBRID))
+        finally:
+            fastpath.configure(**prev)
         stages = _stage_labels(engine.traces())
         assert "validate:allreduce" in stages          # stage 1
         assert "capability:ok" in stages               # stage 2
@@ -321,8 +327,14 @@ class TestMetricsAggregation:
     """The per-collective aggregator: traces and docs agree."""
 
     def test_report_from_traces_and_doc_agree(self, thetagpu1):
-        engine, _ = _run_traced(
-            thetagpu1, _allreduce_body(DispatchMode.HYBRID))
+        # pins plan:hit counts, so the plan-cache gate must be on even
+        # under the check-gates MPIX_PLAN_CACHE=0 leg
+        prev = fastpath.configure(plan_cache=True)
+        try:
+            engine, _ = _run_traced(
+                thetagpu1, _allreduce_body(DispatchMode.HYBRID))
+        finally:
+            fastpath.configure(**prev)
         from_traces = aggregate_traces(engine.traces())
         from_doc = aggregate_doc(engine_chrome_trace(engine))
         assert from_traces.ranks == from_doc.ranks == 4
