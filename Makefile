@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-all check-gates scale-smoke trace-smoke hier-smoke report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero bench-all check-gates scale-smoke trace-smoke hier-smoke hetero-smoke report examples tune clean
 
 install:
 	pip install -e .
@@ -51,8 +51,12 @@ bench-engine:
 bench-hier:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hier_scale.py
 
+# mixed-vendor island bridge vs whole-job host staging (1 -> 32 MiB)
+bench-hetero:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hetero.py
+
 # refresh every committed BENCH_*.json in one go
-bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier
+bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero
 
 # tier-1 suite with each fast-path gate individually toggled: every
 # optimisation must be pure wall-clock, invisible to results
@@ -63,6 +67,7 @@ check-gates:
 	MPIX_TRACE=1 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_COOP_SCHED=1 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_HIER_PIPE=1 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_HETERO=1 $(PYTHON) -m pytest tests/ -x -q
 
 # fast CI leg: a 256-rank oversubscribed job must stay quick and
 # bit-identical under both rank schedulers
@@ -97,6 +102,19 @@ hier-smoke:
 		--trace $(HIER_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(HIER_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(HIER_SMOKE)
+
+# mixed-vendor CI leg: a traced NVIDIA+AMD sweep through the bridge
+# route, the negotiated intersection printed, the trace validated and
+# summarized (per-island bytes table included)
+HETERO_SMOKE ?= /tmp/mpix-hetero-smoke.json
+hetero-smoke:
+	MPIX_HETERO=1 MPIX_COOP_SCHED=1 PYTHONPATH=src \
+		$(PYTHON) -m repro.omb.cli allreduce bcast \
+		--vendors nvidia:2,amd:2 \
+		--sizes 256K:4M --iterations 2 --warmup 1 --stats \
+		--trace $(HETERO_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(HETERO_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(HETERO_SMOKE)
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

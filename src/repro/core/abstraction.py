@@ -8,7 +8,12 @@ the figure's boxes:
   communicator;
 * **Device buffer identify** — one vendor-independent residency check;
 * **Datatype support / Reduce operation support** — capability
-  checks against the resolved backend's tables;
+  checks against the resolved backend's declarative descriptor
+  (:mod:`repro.xccl.caps`).  Homogeneous communicators consult the
+  local backend per call; mixed-vendor communicators skip these
+  per-call checks entirely — they negotiate one *intersection*
+  descriptor at construction (:mod:`repro.mpi.coll.bridge`) and the
+  dispatcher routes from that;
 * **Collectives / point-to-point communication** — the five built-ins
   mapped 1:1 (§3.2) and the send-recv-based collectives (§3.3);
 * **Synchronization** — stream joins after each CCL call.

@@ -43,7 +43,7 @@ from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
 from repro.core.plan import CollectivePlan, PlanCache
 from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
 from repro.core import sendrecv_collectives as srcoll
-from repro.mpi.coll import MPICollDispatcher, hier_exec
+from repro.mpi.coll import MPICollDispatcher, bridge, hier_exec
 from repro.mpi.communicator import IN_PLACE
 from repro.xccl import api as xapi
 
@@ -434,6 +434,13 @@ class CollectivePipeline:
         if self.mode == DispatchMode.PURE_MPI:
             self._mark("capability:skipped")
             return RouteDecision(Route.MPI, FallbackReason.MODE)
+        if bridge.is_hetero(comm):
+            # mixed-vendor comm: the local backend's capability answers
+            # (and the per-rank tuning table) would diverge across the
+            # islands — route from the negotiated intersection instead,
+            # before any per-backend stage can run
+            return self._route_hetero(comm, coll, dt, op, significant,
+                                      on_device)
         fallback = self._checked_capability(coll, dt, op, significant,
                                             on_device)
         if fallback is not None:
@@ -450,6 +457,42 @@ class CollectivePipeline:
         if self._table_for(comm).choose(coll, nbytes) == "xccl":
             return RouteDecision(Route.XCCL)
         return RouteDecision(Route.MPI, FallbackReason.TUNING)
+
+    def _route_hetero(self, comm, coll: str, dt, op, significant,
+                      on_device: bool) -> RouteDecision:
+        """Routing for communicators spanning several vendors.
+
+        With the ``MPIX_HETERO`` gate off, every call takes the MPI
+        algorithms (the only route with no per-backend state).  With it
+        on, the per-call §3.2 chain collapses to set membership on the
+        communicator's negotiated intersection descriptor — computed
+        once (:func:`repro.mpi.coll.bridge.negotiated_descriptor`) from
+        the same purely local facts on every rank, so the route can
+        never diverge across islands.
+        """
+        if not fastpath.hetero_enabled():
+            self._mark("capability:skipped")
+            return RouteDecision(Route.MPI, FallbackReason.MIXED_VENDOR)
+        desc = bridge.negotiated_descriptor(comm)
+        fallback = None
+        if coll not in TUNABLE_COLLECTIVES:
+            fallback = RouteDecision(Route.MPI, FallbackReason.UNSUPPORTED_COLL)
+        elif significant and not on_device:
+            fallback = RouteDecision(Route.MPI, FallbackReason.HOST_BUFFER)
+        elif dt is not None and not desc.allows_datatype(dt):
+            fallback = RouteDecision(Route.MPI, FallbackReason.DATATYPE)
+        elif op is not None and not desc.allows_op(op):
+            fallback = RouteDecision(Route.MPI, FallbackReason.REDUCE_OP)
+        elif comm.size > desc.max_ranks:
+            fallback = RouteDecision(Route.MPI, FallbackReason.MIXED_VENDOR)
+        self._mark("capability:ok" if fallback is None
+                   else f"capability:{fallback.reason.value}")
+        if fallback is not None:
+            return fallback
+        if coll in bridge.BRIDGE_TUNING_KEYS \
+                and (op is None or op.commutative):
+            return RouteDecision(Route.BRIDGE)
+        return RouteDecision(Route.MPI, FallbackReason.MIXED_VENDOR)
 
     # -- stage 4: plan lookup -----------------------------------------------
 
@@ -516,6 +559,23 @@ class CollectivePipeline:
                 except CCLError:
                     decision = RouteDecision(Route.MPI,
                                              FallbackReason.CCL_ERROR)
+        if decision.route == Route.BRIDGE:
+            fn = bridge.EXECUTORS.get(call.coll)
+            if fn is None:
+                # a vector sibling replayed its uniform key's cached
+                # BRIDGE plan — degrade to the MPI route (never XCCL:
+                # no single CCL spans the islands)
+                decision = RouteDecision(Route.MPI,
+                                         FallbackReason.MIXED_VENDOR)
+            else:
+                try:
+                    fn(self, call)
+                    self._record(decision, spec)
+                    self._span(call, spec, decision, t0)
+                    return decision
+                except CCLError:
+                    decision = RouteDecision(Route.MPI,
+                                             FallbackReason.CCL_ERROR)
         if decision.route == Route.XCCL:
             try:
                 spec.ccl(self.layer, call)
@@ -541,6 +601,8 @@ class CollectivePipeline:
             label = f"execute:{call.coll}:xccl:{self.layer.backend_name}"
         elif decision.route == Route.HIER:
             label = f"execute:{call.coll}:hier"
+        elif decision.route == Route.BRIDGE:
+            label = f"execute:{call.coll}:bridge"
         else:
             label = f"execute:{call.coll}:mpi:{decision.reason.value}"
         ctx.trace.record("dispatch", t0, ctx.now,
@@ -552,7 +614,8 @@ class CollectivePipeline:
             xccl=decision.route == Route.XCCL,
             fallback=decision.is_fallback,
             ccl_error=decision.reason == FallbackReason.CCL_ERROR,
-            hier=decision.route == Route.HIER)
+            hier=decision.route == Route.HIER,
+            bridge=decision.route == Route.BRIDGE)
 
     # -- the whole pipe -----------------------------------------------------
 

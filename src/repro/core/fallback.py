@@ -21,6 +21,7 @@ class Route(enum.Enum):
     XCCL = "xccl"
     MPI = "mpi"
     HIER = "hier"      # pipelined hierarchical executor (MPIX_HIER_PIPE)
+    BRIDGE = "bridge"  # mixed-vendor island bridge (MPIX_HETERO)
 
 
 class FallbackReason(enum.Enum):
@@ -35,6 +36,7 @@ class FallbackReason(enum.Enum):
     TUNING = "tuning"                  # hybrid table says MPI is faster
     MODE = "mode"                      # dispatcher pinned to pure MPI
     CCL_ERROR = "ccl_error"            # backend raised at run time
+    MIXED_VENDOR = "mixed_vendor"      # hetero comm, bridge off/ineligible
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,7 @@ class RouteStats:
         self.xccl_calls = 0
         self.mpi_calls = 0
         self.hier_calls = 0
+        self.bridge_calls = 0
         self.fallbacks: Counter = Counter()
 
     def record(self, decision: RouteDecision, coll: str) -> None:
@@ -67,6 +70,8 @@ class RouteStats:
             self.xccl_calls += 1
         elif decision.route == Route.HIER:
             self.hier_calls += 1
+        elif decision.route == Route.BRIDGE:
+            self.bridge_calls += 1
         else:
             self.mpi_calls += 1
             if decision.is_fallback:
@@ -82,6 +87,8 @@ class RouteStats:
         parts = [f"xccl={self.xccl_calls}", f"mpi={self.mpi_calls}"]
         if self.hier_calls:
             parts.append(f"hier={self.hier_calls}")
+        if self.bridge_calls:
+            parts.append(f"bridge={self.bridge_calls}")
         for (coll, reason), n in sorted(self.fallbacks.items(),
                                         key=lambda kv: str(kv[0])):
             parts.append(f"fallback[{coll}/{reason.value}]={n}")

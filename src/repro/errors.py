@@ -94,6 +94,13 @@ class MPITruncateError(MPIError):
     """Receive buffer too small for a matched message (``MPI_ERR_TRUNCATE``)."""
 
 
+class MPIXNegotiationError(MPIError):
+    """Mixed-vendor capability negotiation found an empty intersection
+    (no common datatype or wire format across the communicator's
+    backends).  Raised from identical, purely local inputs on every
+    rank at negotiation time — a clean error, never a deadlock."""
+
+
 # ---------------------------------------------------------------------------
 # Vendor CCL backends
 # ---------------------------------------------------------------------------

@@ -53,7 +53,19 @@ point — it is a routing optimisation, like the tuning table); payloads
 stay bit-identical, and on single-node communicators the route is
 never chosen, so the gate is provably inert there.
 
-All six gates live in one registry (:data:`GATE_ENV`) keyed by the
+The mixed-vendor bridge route (``MPIX_HETERO`` /
+:func:`set_hetero_enabled`) is the seventh gate, default off: a
+communicator whose ranks sit on devices from more than one vendor
+negotiates a capability intersection once at construction
+(:mod:`repro.xccl.caps`) and routes eligible collectives to the
+cross-vendor bridge executor (:mod:`repro.mpi.coll.bridge`) — native
+xCCL inside each vendor island, host-staged leader hops between
+islands.  Like the hierarchical route it changes virtual times (it is
+a routing choice), never payloads; with the gate off, mixed
+communicators fall back to the plain MPI algorithms, and on
+single-vendor communicators the gate is provably inert.
+
+All seven gates live in one registry (:data:`GATE_ENV`) keyed by the
 dispatch-pipeline stage they toggle, and are queried through the single
 :func:`gate_enabled` choke point.  :func:`configure` flips any subset
 and returns the previous states (restore with ``configure(**prev)``);
@@ -80,15 +92,17 @@ GATE_ENV: Dict[str, str] = {
     "trace": "MPIX_TRACE",                 # per-rank event tracing
     "coop_sched": "MPIX_COOP_SCHED",       # cooperative rank scheduler
     "hier_pipe": "MPIX_HIER_PIPE",         # pipelined hierarchical route
+    "hetero": "MPIX_HETERO",               # mixed-vendor bridge route
 }
 
 #: gates that default off when their variable is unset (tracing costs
 #: memory per event, so it is opt-in; the cooperative scheduler changes
 #: the engine's execution model, so it is opt-in too; the hierarchical
-#: route changes multi-node virtual times, so it is opt-in as well; the
-#: wall-clock gates default on).
+#: route changes multi-node virtual times, so it is opt-in as well,
+#: and so does the mixed-vendor bridge; the wall-clock gates default
+#: on).
 _GATE_DEFAULTS: Dict[str, str] = {"trace": "0", "coop_sched": "0",
-                                  "hier_pipe": "0"}
+                                  "hier_pipe": "0", "hetero": "0"}
 
 
 def _env_gate(var: str, default: str = "1") -> bool:
@@ -116,7 +130,8 @@ def configure(plan_cache: Optional[bool] = None,
               zero_copy: Optional[bool] = None,
               trace: Optional[bool] = None,
               coop_sched: Optional[bool] = None,
-              hier_pipe: Optional[bool] = None) -> Dict[str, bool]:
+              hier_pipe: Optional[bool] = None,
+              hetero: Optional[bool] = None) -> Dict[str, bool]:
     """Set any subset of the fast-path gates at once.
 
     Returns the *previous* state of every gate, so a caller can restore
@@ -129,7 +144,8 @@ def configure(plan_cache: Optional[bool] = None,
                        ("zero_copy", zero_copy),
                        ("trace", trace),
                        ("coop_sched", coop_sched),
-                       ("hier_pipe", hier_pipe)):
+                       ("hier_pipe", hier_pipe),
+                       ("hetero", hetero)):
         if flag is not None:
             _gates[name] = bool(flag)
     return prev
@@ -219,6 +235,23 @@ def set_hier_pipe_enabled(flag: bool) -> bool:
     return configure(hier_pipe=flag)["hier_pipe"]
 
 
+def hetero_enabled() -> bool:
+    """Whether mixed-vendor communicators may take the bridge route
+    (``MPIX_HETERO``).
+
+    Only communicators spanning devices from more than one vendor are
+    affected (:func:`repro.mpi.coll.bridge.hetero_info`); with the
+    gate off they route to the plain MPI algorithms, and single-vendor
+    communicators route exactly as before either way."""
+    return _gates["hetero"]
+
+
+def set_hetero_enabled(flag: bool) -> bool:
+    """Flip the mixed-vendor bridge route on or off; returns the
+    previous setting."""
+    return configure(hetero=flag)["hetero"]
+
+
 class PlanStats:
     """Hit/miss/compile counters for the plan-caching layer.
 
@@ -253,6 +286,10 @@ class PlanStats:
         self.route_hier = 0         # execute stage ran the hierarchical plan
         self.hier_chunks = 0        # payload chunks pipelined through levels
         self.hier_stripe_ops = 0    # inter-node stripe collectives issued
+        #: mixed-vendor bridge counters (MPIX_HETERO):
+        self.negotiations = 0       # once-per-comm capability negotiations
+        self.route_bridge = 0       # execute stage ran the bridge plan
+        self.bridge_hops = 0        # host-staged inter-island messages
         #: cooperative-scheduler counters (MPIX_COOP_SCHED):
         self.coop_runs = 0          # engine runs under the coop scheduler
         self.coop_parks = 0         # fiber deschedules (blocked waits)
@@ -311,12 +348,15 @@ class PlanStats:
             self.accumulator_reuses += 1
 
     def note_dispatch(self, xccl: bool, fallback: bool = False,
-                      ccl_error: bool = False, hier: bool = False) -> None:
+                      ccl_error: bool = False, hier: bool = False,
+                      bridge: bool = False) -> None:
         """Record one collective leaving the pipeline's execute stage."""
         with self._lock:
             self.dispatch_calls += 1
             if hier:
                 self.route_hier += 1
+            elif bridge:
+                self.route_bridge += 1
             elif xccl:
                 self.route_xccl += 1
             else:
@@ -333,6 +373,20 @@ class PlanStats:
         with self._lock:
             self.hier_chunks += chunks
             self.hier_stripe_ops += stripe_ops
+
+    def note_negotiation(self) -> None:
+        """Record one mixed-vendor capability negotiation (reported by
+        rank 0 of the negotiating communicator only, so the counter
+        reads "negotiations per communicator", not per rank)."""
+        with self._lock:
+            self.negotiations += 1
+
+    def note_bridge(self, hops: int) -> None:
+        """Record the host-staged inter-island messages one bridge
+        plan execution sent (leaders only report, so the counter is a
+        message count, not a per-rank tally)."""
+        with self._lock:
+            self.bridge_hops += hops
 
     def note_coop_run(self, parks: int, switches: int) -> None:
         """Record one engine run under the cooperative scheduler (the
@@ -354,6 +408,7 @@ class PlanStats:
             self.dispatch_calls = self.route_xccl = self.route_mpi = 0
             self.route_fallbacks = self.ccl_errors = 0
             self.route_hier = self.hier_chunks = self.hier_stripe_ops = 0
+            self.negotiations = self.route_bridge = self.bridge_hops = 0
             self.coop_runs = self.coop_parks = self.coop_switches = 0
 
     def snapshot(self) -> Dict[str, int]:
@@ -377,6 +432,9 @@ class PlanStats:
                     "route_hier": self.route_hier,
                     "hier_chunks": self.hier_chunks,
                     "hier_stripe_ops": self.hier_stripe_ops,
+                    "negotiations": self.negotiations,
+                    "route_bridge": self.route_bridge,
+                    "bridge_hops": self.bridge_hops,
                     "coop_runs": self.coop_runs,
                     "coop_parks": self.coop_parks,
                     "coop_switches": self.coop_switches}

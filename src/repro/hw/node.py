@@ -7,13 +7,14 @@ the actual link segments rather than guessing.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import networkx as nx
 
 from repro.errors import TopologyError
 from repro.hw.device import Accelerator, HostCPU
 from repro.hw.links import HOST_MEMCPY, LinkModel
+from repro.hw.vendors import Vendor
 
 
 class Node:
@@ -78,6 +79,26 @@ class Node:
     def device_count(self) -> int:
         """Number of accelerators on the node."""
         return len(self.devices)
+
+    @property
+    def vendors(self) -> Tuple[Vendor, ...]:
+        """Distinct device vendors on this node, sorted by name — the
+        per-node input to mixed-vendor backend selection."""
+        return tuple(sorted({d.vendor for d in self.devices},
+                            key=lambda v: v.value))
+
+    @property
+    def vendor(self) -> Vendor:
+        """The node's single device vendor.  Mixed-vendor *clusters*
+        are modeled as single-vendor nodes (islands); a node mixing
+        vendors within itself is a topology error."""
+        vendors = self.vendors
+        if len(vendors) != 1:
+            raise TopologyError(
+                f"{self.name} mixes device vendors "
+                f"{[v.value for v in vendors]}; per-node backend "
+                f"selection needs single-vendor nodes")
+        return vendors[0]
 
     def device(self, local_index: int) -> Accelerator:
         """Accelerator at ``local_index``; raises TopologyError if absent."""

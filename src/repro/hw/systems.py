@@ -12,7 +12,7 @@ Three clusters are modeled, one per vendor:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.hw.cluster import Cluster
@@ -27,7 +27,7 @@ from repro.hw.links import (
     XE_LINK,
 )
 from repro.hw.node import Node
-from repro.hw.vendors import Vendor
+from repro.hw.vendors import Vendor, parse_vendor_counts
 
 GB = 1024 ** 3
 TB = 1024 ** 4
@@ -122,6 +122,65 @@ def aurora(nodes: int = 1, nics: int = 1) -> Cluster:
         for n in range(nodes)
     ]
     return Cluster("aurora", node_list, fabric=SLINGSHOT)
+
+
+#: per-vendor node recipe for mixed clusters: device factory, host CPU
+#: description, intra-node link, and whether the devices hang off a
+#: switch — each borrowed from that vendor's homogeneous preset above.
+_MIXED_NODE: Dict[Vendor, Tuple[Callable[[], Accelerator], str, object, bool]] = {
+    Vendor.NVIDIA: (_a100, "AMD EPYC 7742", NVSWITCH, True),
+    Vendor.AMD: (_mi100, "AMD EPYC 7713", PCIE_MRI, False),
+    Vendor.HABANA: (_gaudi, "Intel Xeon Gold 6336Y", GAUDI_ROCE, True),
+    Vendor.INTEL: (_pvc, "Intel Xeon Max 9470C", XE_LINK, True),
+}
+
+
+def mixed(vendor_nodes: Sequence[Tuple[Vendor, int]],
+          devices_per_node: int = 2, nics: int = 1) -> Cluster:
+    """A mixed-vendor cluster: single-vendor nodes (islands) on one
+    shared ConnectX-6 HDR fabric — the shape ROADMAP item 2 and the
+    ``MPIX_HETERO`` bridge route target.
+
+    ``vendor_nodes`` gives per-vendor node counts in placement order,
+    e.g. ``[(Vendor.NVIDIA, 2), (Vendor.AMD, 2)]``.  Every node gets
+    the *same* device count so block rank placement stays uniform
+    across the islands; each island keeps its vendor's calibrated
+    intra-node link and host CPU.
+    """
+    if devices_per_node < 1:
+        raise ConfigError(
+            f"mixed cluster needs >= 1 device per node, got {devices_per_node}")
+    if not vendor_nodes:
+        raise ConfigError("mixed cluster needs at least one vendor")
+    node_list = []
+    for vendor, nodes in vendor_nodes:
+        if nodes < 1:
+            raise ConfigError(
+                f"mixed cluster: {vendor.value} node count must be >= 1")
+        factory, cpu_model, intra, switched = _MIXED_NODE[vendor]
+        cpu = HostCPU(cpu_model, sockets=2, cores_per_socket=64,
+                      memory_bytes=512 * GB)
+        for n in range(nodes):
+            node_list.append(Node(
+                f"mixed{len(node_list):02d}-{vendor.value}", cpu,
+                [factory() for _ in range(devices_per_node)],
+                intra_link=intra, nic=IB_HDR, switched=switched, nics=nics))
+    return Cluster("mixed", node_list, fabric=IB_HDR)
+
+
+def make_mixed_system(spec: str, devices_per_node: int = 2,
+                      nics: Optional[int] = None) -> Cluster:
+    """Build a mixed cluster from a ``--vendors`` spec string
+    (``nvidia:2,amd:2`` = 2 NVIDIA nodes then 2 AMD nodes).
+
+    >>> make_mixed_system("nvidia:2,amd:2").device_count
+    8
+    """
+    try:
+        pairs = parse_vendor_counts(spec)
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from None
+    return mixed(pairs, devices_per_node=devices_per_node, nics=nics or 1)
 
 
 _SYSTEMS: Dict[str, Callable[[int], Cluster]] = {

@@ -9,6 +9,7 @@ and which datatype tables apply.
 from __future__ import annotations
 
 import enum
+from typing import List, Tuple
 
 
 class Vendor(enum.Enum):
@@ -75,3 +76,33 @@ COMPATIBLE_CCLS = {
 def default_ccl_for(vendor: Vendor) -> str:
     """The CCL the runtime auto-selects for ``vendor`` (first compatible)."""
     return COMPATIBLE_CCLS[vendor][0]
+
+
+def parse_vendor_counts(spec: str) -> List[Tuple[Vendor, int]]:
+    """Parse a per-node vendor spec like ``nvidia:2,amd:2`` into
+    ``(vendor, node count)`` pairs, order preserved.
+
+    A bare vendor name means one node (``nvidia,amd`` = one of each).
+
+    >>> parse_vendor_counts("nvidia:2,amd:2")
+    [(<Vendor.NVIDIA: 'nvidia'>, 2), (<Vendor.AMD: 'amd'>, 2)]
+    """
+    pairs: List[Tuple[Vendor, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        vendor = Vendor.parse(name)
+        try:
+            nodes = int(count) if count else 1
+        except ValueError:
+            raise ValueError(
+                f"bad node count in vendor spec {part!r}; expected "
+                f"VENDOR or VENDOR:NODES") from None
+        if nodes < 1:
+            raise ValueError(f"vendor spec {part!r}: node count must be >= 1")
+        pairs.append((vendor, nodes))
+    if not pairs:
+        raise ValueError(f"empty vendor spec {spec!r}")
+    return pairs

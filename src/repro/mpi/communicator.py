@@ -46,6 +46,18 @@ class Communicator:
         if ctx.rank not in group:
             raise MPICommError(f"rank {ctx.rank} not in group {group}")
         self.ctx = ctx
+        #: the caller's config, before any vendor downgrade — children
+        #: (Dup/Split) derive from this, so a single-vendor island
+        #: split out of a mixed communicator regains GPU-direct paths.
+        self._base_config = config
+        if config.gpu_direct and \
+                len({ctx.device_of(w).vendor for w in group}) > 1:
+            # GPU-direct transports (CUDA IPC, GPUDirect/ROCm RDMA) are
+            # vendor-specific: a communicator spanning vendor islands
+            # can only move device buffers through host staging — the
+            # per-hop cost the MPIX_HETERO bridge route amortizes down
+            # to one hop per remote island.
+            config = config.with_(gpu_direct=False)
         self.config = config
         self.group: Tuple[int, ...] = tuple(group)
         self.ctx_id = ctx_id
@@ -68,7 +80,7 @@ class Communicator:
         """Duplicate with an isolated context (``MPI_Comm_dup``)."""
         self._check_live()
         seq = next(self._seq)
-        return Communicator(self.ctx, self.config, self.group,
+        return Communicator(self.ctx, self._base_config, self.group,
                             f"{self.ctx_id}.d{seq}")
 
     def Split(self, color: int, key: int = 0) -> Optional["Communicator"]:
@@ -87,7 +99,7 @@ class Communicator:
             return None
         members = sorted(((k, w) for c, k, w in entries.values() if c == color))
         group = tuple(w for _, w in members)
-        return Communicator(self.ctx, self.config, group,
+        return Communicator(self.ctx, self._base_config, group,
                             f"{self.ctx_id}.s{seq}.{color}")
 
     def Free(self) -> None:
@@ -97,9 +109,11 @@ class Communicator:
         legacy node-leader pair (see
         :func:`repro.mpi.coll.hierarchical.node_comms`) and the
         pipelined-hierarchy topology (see
-        :func:`repro.mpi.coll.hier_exec.topology`) — and tells the
-        dispatcher to drop compiled plans / CCL state for this
-        communicator.
+        :func:`repro.mpi.coll.hier_exec.topology`) — plus the
+        mixed-vendor bridge state (island sub-communicator, negotiated
+        descriptor; see :func:`repro.mpi.coll.bridge.release_bridge`)
+        — and tells the dispatcher to drop compiled plans / CCL state
+        for this communicator.
         """
         if self._freed:
             return
@@ -112,6 +126,10 @@ class Communicator:
         if "_hier_topo" in self.__dict__ or "_hier_info" in self.__dict__:
             from repro.mpi.coll.hier_exec import release_topology
             release_topology(self)
+        if ("_bridge_topo" in self.__dict__ or "_bridge_info" in self.__dict__
+                or "_hetero_desc" in self.__dict__):
+            from repro.mpi.coll.bridge import release_bridge
+            release_bridge(self)
         release = getattr(self.coll, "release", None)
         if release is not None:
             release(self)

@@ -25,8 +25,15 @@ HOST_REDUCE_THRESHOLD = 8192
 
 def reduce_time_us(ctx: RankContext, config: MPIConfig, nbytes: int,
                    on_device: bool) -> float:
-    """Virtual cost of reducing ``nbytes`` into an accumulator."""
-    if on_device and nbytes > HOST_REDUCE_THRESHOLD:
+    """Virtual cost of reducing ``nbytes`` into an accumulator.
+
+    Device-kernel pricing needs a GPU-aware build: a non-GPU-aware MPI
+    (§2.2) only ever sees host-staged copies of device payloads, so its
+    internal reductions run on the host CPU at ``host_reduce_bpus`` —
+    the hidden compute tax of whole-job host staging, on top of the
+    per-hop staging copies the transport already charges.
+    """
+    if on_device and config.gpu_direct and nbytes > HOST_REDUCE_THRESHOLD:
         # read both operands, write one: 3x traffic over HBM
         return ctx.device.kernel_time_us(3 * nbytes)
     return 0.15 + nbytes / config.host_reduce_bpus

@@ -44,6 +44,12 @@ def _print_report(report: MetricsReport) -> None:
         print(ascii_table(
             ["CCL transport", "Messages"],
             [[label, n] for label, n in sorted(report.transports.items())]))
+    if report.islands:
+        # mixed-vendor runs: native-CCL bytes per vendor island plus
+        # the host-staged leader-exchange ("hop") bytes
+        print(ascii_table(
+            ["Bridge island", "Bytes"],
+            [[label, n] for label, n in sorted(report.islands.items())]))
     if report.kinds:
         print(ascii_table(
             ["Event kind", "Count", "Total (us)"],

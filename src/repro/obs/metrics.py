@@ -90,6 +90,10 @@ class MetricsReport:
     stages: Dict[str, int] = field(default_factory=dict)
     #: CCL p2p transport label (exchange/bulk/unfused/fallback) -> count
     transports: Dict[str, int] = field(default_factory=dict)
+    #: mixed-vendor bridge traffic: vendor island -> bytes moved in its
+    #: native-CCL phases, plus the "hop" row for host-staged leader
+    #: exchange bytes (``MPIX_HETERO`` runs only)
+    islands: Dict[str, int] = field(default_factory=dict)
     #: event kind -> (count, total virtual time)
     kinds: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     ranks: int = 0
@@ -115,6 +119,13 @@ class MetricsReport:
             self.stages[label] = self.stages.get(label, 0) + 1
         elif kind in ("ccl-send", "ccl-recv") and label:
             self.transports[label] = self.transports.get(label, 0) + 1
+        elif kind == "bridge":
+            # "bridge:<coll>:island:<vendor>[:fanout]" or "bridge:<coll>:hop"
+            parts = label.split(":")
+            phase = parts[2] if len(parts) > 2 else "?"
+            key = (parts[3] if phase == "island" and len(parts) > 3
+                   else "hop")
+            self.islands[key] = self.islands.get(key, 0) + nbytes
 
     def summary_rows(self) -> List[List]:
         """Per-collective table rows (name, calls, bytes, avg/min/max,

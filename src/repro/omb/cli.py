@@ -8,6 +8,7 @@ Examples::
     mpix-omb allreduce alltoallv --trace out.json   # one traced run
     mpix-omb allreduce --nodes 4 --ranks 64,256,1024  # scale sweep
     mpix-omb allreduce --topology 8x8 --nics 8        # multi-rail hier
+    mpix-omb allreduce --vendors nvidia:2,amd:2       # mixed-vendor
 
 Several collective benchmarks may be named at once: they run back to
 back on one engine (one virtual timeline), which is what makes a
@@ -21,6 +22,13 @@ automatically (``MPIX_COOP_SCHED=1`` keeps 1k-4k-rank sweeps fast).
 --ranks-per-node G``; with ``--nics`` it builds multi-rail nodes, the
 shape the ``MPIX_HIER_PIPE`` striped hierarchy is designed for
 (``--stats`` then shows the ``route_hier``/``hier_*`` counters).
+
+``--vendors VENDOR:N,...`` (e.g. ``nvidia:2,amd:2``) builds a
+mixed-vendor cluster of single-vendor islands instead of a named
+system; each rank runs its island's native CCL, so ``--backend`` does
+not apply.  With ``MPIX_HETERO=1`` set, eligible collectives take the
+island bridge route; ``--stats`` additionally prints the negotiated
+capability intersection across the islands' backends.
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro import fastpath
-from repro.hw.systems import make_system, system_names
+from repro.errors import ConfigError
+from repro.hw.systems import make_mixed_system, make_system, system_names
 from repro.hw.vendors import default_ccl_for
 from repro.omb.collective import COLLECTIVE_BENCHMARKS
 from repro.omb.harness import OMBConfig
@@ -59,6 +68,21 @@ def format_stats(snap: dict) -> str:
         ["Counter", "Value"],
         [[name, counters[name]] for name in sorted(counters)]))
     return "\n".join(lines)
+
+
+def format_negotiation(cluster) -> str:
+    """Render the capability intersection a mixed-vendor run negotiates
+    across its islands' native backends (``--vendors`` + ``--stats``)."""
+    from repro.errors import MPIXNegotiationError
+    from repro.xccl.caps import descriptor_for, negotiate
+    vendors = sorted({d.vendor for d in cluster.devices},
+                     key=lambda v: v.value)
+    try:
+        desc = negotiate(descriptor_for(default_ccl_for(v)) for v in vendors)
+    except MPIXNegotiationError as exc:
+        return f"# Negotiation failed: {exc}"
+    return (f"# Negotiated intersection: {desc.summary()}\n"
+            f"#   datatypes: {', '.join(sorted(desc.datatypes))}")
 
 
 def _write_trace(engine: Engine, path: str, args,
@@ -100,6 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--nics", type=int, default=None,
                         help="NIC rails per node (default: the system's "
                         "single-rail calibration)")
+    parser.add_argument("--vendors", default=None, metavar="SPEC",
+                        help="mixed-vendor cluster spec, e.g. nvidia:2,amd:2 "
+                        "(single-vendor islands, 2 devices per node); each "
+                        "rank uses its island's native CCL")
     parser.add_argument("--backend", default=None,
                         help="CCL backend (default: the system's native)")
     parser.add_argument("--stack", default="hybrid", choices=STACK_NAMES,
@@ -116,6 +144,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "Perfetto JSON timeline to PATH")
 
     args = parser.parse_args(argv)
+    if args.vendors is not None:
+        if args.system != parser.get_default("system") \
+                or args.nodes != parser.get_default("nodes") \
+                or args.topology is not None:
+            parser.error("--vendors conflicts with --system/--nodes/--topology")
+        if args.backend is not None:
+            parser.error("--vendors runs each island's native CCL; "
+                         "--backend cannot span vendors")
+        if any(b in PT2PT for b in args.benchmarks):
+            parser.error("--vendors supports collective benchmarks only")
     if args.topology is not None:
         parts = args.topology.lower().replace("×", "x").split("x")
         try:
@@ -159,8 +197,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lo, hi = (parse_size(p) for p in args.sizes.split(":"))
     config = OMBConfig(sizes=tuple(power_of_two_sizes(lo, hi)),
                        warmup=args.warmup, iterations=args.iterations)
-    cluster = make_system(args.system, args.nodes, nics=args.nics)
-    backend = args.backend or default_ccl_for(cluster.devices[0].vendor)
+    if args.vendors is not None:
+        try:
+            cluster = make_mixed_system(args.vendors, nics=args.nics)
+        except ConfigError as exc:
+            parser.error(str(exc))
+        args.system = f"mixed:{args.vendors}"
+        backend = None            # per-rank: each island's native CCL
+        backend_label = "native"
+    else:
+        cluster = make_system(args.system, args.nodes, nics=args.nics)
+        backend = args.backend or default_ccl_for(cluster.devices[0].vendor)
+        backend_label = backend
 
     if args.benchmarks[0] in PT2PT:
         name = args.benchmarks[0]
@@ -206,14 +254,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, stats in zip(args.benchmarks, per_bench):
             extra = f"Stack: {args.stack}" + (
                 f" | {rpn} ranks/node" if rpn else "")
-            print(omb_header(f"osu_{name}", args.system, backend, nranks,
-                             extra=extra))
+            print(omb_header(f"osu_{name}", args.system, backend_label,
+                             nranks, extra=extra))
             print(ascii_table(
                 ["Size", "Avg Latency (us)", "Min (us)", "Max (us)"],
                 [[format_size(s), st.avg_us, st.min_us, st.max_us]
                  for s, st in sorted(stats.items())]))
         if args.stats:
             print(format_stats(fastpath.snapshot()))
+            if args.vendors is not None:
+                print(format_negotiation(cluster))
         if args.trace:
             _write_trace(engine, args.trace, args, args.benchmarks)
     return 0

@@ -21,6 +21,10 @@ Event kinds by layer:
   collective (label ``execute:<coll>:<route>...``);
 * ``hier`` — one level of the pipelined hierarchical executor (labels
   ``hier:<coll>:intra:*`` / ``hier:<coll>:inter``, ``MPIX_HIER_PIPE``);
+* ``bridge`` — one phase of the mixed-vendor island bridge (labels
+  ``bridge:<coll>:island:<vendor>[:fanout]`` for the intra-island
+  native-CCL phases and ``bridge:<coll>:hop`` for the host-staged
+  leader exchange, ``MPIX_HETERO``);
 * ``step`` — application step boundaries (the Horovod trainer).
 
 :mod:`repro.sim.timeline` exports traces as Chrome/Perfetto JSON, and

@@ -47,11 +47,9 @@ from repro.mpi.ops import Op
 from repro.perfmodel import ccl_models
 from repro.perfmodel.params import CCLParams
 from repro.sim.mailbox import ANY_TAG, Message
+from repro.xccl.caps import CCL_SUPPORTED_OPS, CapabilityDescriptor
 from repro.xccl.comm import XCCLComm
 from repro.xccl.datatypes import require_support
-
-#: ncclRedOp_t: the only reductions the CCL APIs define.
-CCL_SUPPORTED_OPS = frozenset({"MPI_SUM", "MPI_PROD", "MPI_MIN", "MPI_MAX"})
 
 _MSG_KIND = "ccl-p2p"
 
@@ -134,6 +132,11 @@ class CCLBackend:
     vendors: Tuple[Vendor, ...] = ()
     #: cost-model constants; set by subclasses.
     params: CCLParams
+    #: declarative capability descriptor (:mod:`repro.xccl.caps`); the
+    #: built-in backends bind theirs at class definition.  Plug-in
+    #: backends may leave it None — capability questions then fall
+    #: back to the datatype tables and the common op set.
+    capabilities: Optional[CapabilityDescriptor] = None
 
     # -- capability checks -------------------------------------------------
 
@@ -144,7 +147,9 @@ class CCLBackend:
 
     def supports_op(self, op: Op) -> bool:
         """Whether this backend implements reduce op ``op``."""
-        return op.predefined and op.name in CCL_SUPPORTED_OPS
+        ops = (self.capabilities.reduce_ops
+               if self.capabilities is not None else CCL_SUPPORTED_OPS)
+        return op.predefined and op.name in ops
 
     def _check(self, dt: Datatype, op: Optional[Op] = None) -> None:
         require_support(self.name, dt)

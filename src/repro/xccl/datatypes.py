@@ -6,6 +6,11 @@ the common integer/float types but have no complex support
 (``MPI_DOUBLE_COMPLEX`` breaks FFT apps like heFFTe), and HCCL
 supports only ``float``.  :func:`backend_supports` is the check the
 abstraction layer runs before routing an MPI call to a CCL.
+
+This module owns the *vocabulary* (MPI name -> xccl name, and the two
+canonical type sets); which backend supports which set is declared
+once, in the capability descriptors of :mod:`repro.xccl.caps`, and
+:func:`support_table` reads it from there.
 """
 
 from __future__ import annotations
@@ -50,19 +55,19 @@ NCCL_FAMILY_TYPES: FrozenSet[str] = frozenset({
 #: HCCL "only supports float currently" (paper §3.2).
 HCCL_TYPES: FrozenSet[str] = frozenset({"xcclFloat32"})
 
-SUPPORT_TABLES: Dict[str, FrozenSet[str]] = {
-    "nccl": NCCL_FAMILY_TYPES,
-    "rccl": NCCL_FAMILY_TYPES,
-    "msccl": NCCL_FAMILY_TYPES,
-    "hccl": HCCL_TYPES,
-}
-
 
 @lru_cache(maxsize=None)
 def support_table(backend_name: str) -> Optional[FrozenSet[str]]:
-    """The (case-normalized) support table for a backend, memoized —
-    repeated lookups return the identical frozenset object."""
-    return SUPPORT_TABLES.get(backend_name.lower())
+    """The (case-normalized) datatype set for a backend, memoized —
+    repeated lookups return the identical frozenset object.
+
+    Reads the backend's capability descriptor
+    (:func:`repro.xccl.caps.descriptor_for`, imported lazily — caps
+    imports this module's type sets); unknown backends have no table.
+    """
+    from repro.xccl.caps import descriptor_for
+    desc = descriptor_for(backend_name)
+    return desc.datatypes if desc is not None else None
 
 
 def ccl_dtype_name(dt: Datatype) -> Optional[str]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.hw.vendors import Vendor
 from repro.perfmodel.params import HCCL as HCCL_PARAMS
+from repro.xccl import caps
 from repro.xccl.backend import CCLBackend
 
 
@@ -24,4 +25,5 @@ class HCCLBackend(CCLBackend):
     name = "hccl"
     vendors = (Vendor.HABANA,)
     params = HCCL_PARAMS
+    capabilities = caps.DESCRIPTORS["hccl"]
     version = "1.11.0"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.hw.vendors import Vendor
 from repro.perfmodel.params import MSCCL as MSCCL_PARAMS
+from repro.xccl import caps
 from repro.xccl.backend import CCLBackend
 from repro.xccl.msccl_programs import MSCCLProgram, ProgramRegistry, default_registry
 
@@ -22,6 +23,7 @@ class MSCCLBackend(CCLBackend):
     name = "msccl"
     vendors = (Vendor.NVIDIA,)
     params = MSCCL_PARAMS
+    capabilities = caps.DESCRIPTORS["msccl"]
     #: the wrapped NCCL build
     version = "msccl-0.7 (nccl 2.12.12)"
 

@@ -13,6 +13,7 @@ from dataclasses import replace
 
 from repro.hw.vendors import Vendor
 from repro.perfmodel.params import NCCL as NCCL_PARAMS
+from repro.xccl import caps
 from repro.xccl.backend import CCLBackend
 
 
@@ -22,6 +23,7 @@ class NCCLBackend(CCLBackend):
     name = "nccl"
     vendors = (Vendor.NVIDIA,)
     params = NCCL_PARAMS
+    capabilities = caps.DESCRIPTORS["nccl"]
 
     #: library version the simulation mimics (latest at paper time)
     version = "2.18.3"

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from repro.hw.vendors import Vendor
 from repro.perfmodel.params import ONECCL as ONECCL_PARAMS
+from repro.xccl import caps
 from repro.xccl.backend import CCLBackend
-from repro.xccl.datatypes import NCCL_FAMILY_TYPES, SUPPORT_TABLES
 
 
 class OneCCLBackend(CCLBackend):
@@ -26,9 +26,7 @@ class OneCCLBackend(CCLBackend):
     name = "oneccl"
     vendors = (Vendor.INTEL,)
     params = ONECCL_PARAMS
+    #: oneCCL covers the NCCL-family scalar types (and, like the
+    #: others, nothing complex) — declared once in the descriptor.
+    capabilities = caps.DESCRIPTORS["oneccl"]
     version = "2021.11"
-
-
-# oneCCL covers the NCCL-family scalar types (and, like the others,
-# nothing complex); register its table alongside the built-ins.
-SUPPORT_TABLES.setdefault("oneccl", NCCL_FAMILY_TYPES)

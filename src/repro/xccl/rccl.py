@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.hw.vendors import Vendor
 from repro.perfmodel.params import RCCL as RCCL_PARAMS
+from repro.xccl import caps
 from repro.xccl.backend import CCLBackend
 
 
@@ -19,4 +20,5 @@ class RCCLBackend(CCLBackend):
     name = "rccl"
     vendors = (Vendor.AMD,)
     params = RCCL_PARAMS
+    capabilities = caps.DESCRIPTORS["rccl"]
     version = "2.11.4"

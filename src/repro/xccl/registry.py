@@ -45,6 +45,21 @@ def get_backend(name: str) -> CCLBackend:
     return _INSTANCES[key]
 
 
+def descriptor_for_backend(name: str):
+    """The capability descriptor for a registered backend.
+
+    Prefers the live entry in :data:`repro.xccl.caps.DESCRIPTORS`
+    (so tests can swap a descriptor without rebuilding backends);
+    falls back to the class-bound :attr:`CCLBackend.capabilities`
+    for plug-ins registered without a caps entry.  None when neither
+    exists.
+    """
+    from repro.xccl import caps
+    backend = get_backend(name)
+    desc = caps.descriptor_for(backend.name)
+    return desc if desc is not None else backend.capabilities
+
+
 def backend_for_vendor(vendor: Vendor, preferred: Optional[str] = None) -> CCLBackend:
     """Resolve the backend driving ``vendor`` devices.
 

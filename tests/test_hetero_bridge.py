@@ -1,0 +1,279 @@
+"""Mixed-vendor heterogeneous communicators (``MPIX_HETERO``).
+
+Covers the capability-descriptor layer (negotiation, family fallback,
+empty-intersection errors), the mixed-cluster builders, and the island
+bridge executor: bit-identity of mixed 2+2-node runs against both the
+bridge-off MPI fallback and a homogeneous same-shape run, counter pins
+(one negotiation per communicator), the ``Comm_free`` release of the
+cached bridge state, and the negotiation-failure error path (a clean
+MPIX error, never a deadlock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.core import runtime
+from repro.errors import (
+    ConfigError,
+    MPIXNegotiationError,
+    RankFailedError,
+    TopologyError,
+)
+from repro.hw.systems import make_mixed_system, make_system, mixed
+from repro.hw.vendors import Vendor, parse_vendor_counts
+from repro.mpi.ops import SUM
+from repro.xccl import caps
+
+N = 1 << 14  # elements per rank; large enough to engage island xCCL
+
+
+@pytest.fixture
+def restore_gates():
+    prev = fastpath.gates()
+    yield
+    fastpath.configure(**prev)
+
+
+def _run(body, cluster, nranks, rpn, hetero):
+    fastpath.configure(hetero=hetero, coop_sched=True)
+    fastpath.STATS.reset()
+    out = runtime.run(body, system=cluster, nranks=nranks,
+                      ranks_per_node=rpn)
+    return out, fastpath.STATS.snapshot()
+
+
+def _collectives_body(mpx):
+    comm = mpx.COMM_WORLD
+    p, rank = comm.size, comm.rank
+    rng = np.random.default_rng(11 + rank)
+    out = {}
+    send = mpx.device_array(N)
+    send.array[:] = rng.integers(0, 5, N)
+    recv = mpx.device_array(N, fill=0.0)
+    comm.Allreduce(send, recv, SUM)
+    out["allreduce"] = recv.array.tobytes()
+    ag = mpx.device_array(N * p, fill=0.0)
+    comm.Allgather(send, ag)
+    out["allgather"] = ag.array.tobytes()
+    rs_in = mpx.device_array(N * p)
+    rs_in.array[:] = rng.integers(0, 5, N * p)
+    rs_out = mpx.device_array(N, fill=0.0)
+    comm.Reduce_scatter_block(rs_in, rs_out, SUM)
+    out["reduce_scatter"] = rs_out.array.tobytes()
+    for root in (0, p // 2, p - 1):
+        buf = mpx.device_array(N, fill=0.0)
+        if rank == root:
+            buf.array[:] = rng.integers(0, 5, N)
+        comm.Bcast(buf, root=root)
+        out[f"bcast@{root}"] = buf.array.tobytes()
+    return out
+
+
+# -- descriptor layer ----------------------------------------------------
+
+
+def test_parse_vendor_counts():
+    assert parse_vendor_counts("nvidia:2,amd:2") == [
+        (Vendor.NVIDIA, 2), (Vendor.AMD, 2)]
+    # bare name means one node; order is preserved
+    assert parse_vendor_counts("amd,nvidia:3") == [
+        (Vendor.AMD, 1), (Vendor.NVIDIA, 3)]
+    for bad in ("", "nvidia:0", "nvidia:x", "nvidia:-1", ","):
+        with pytest.raises(ValueError):
+            parse_vendor_counts(bad)
+
+
+def test_descriptor_registry_covers_backends():
+    for name in ("nccl", "rccl", "hccl", "oneccl", "msccl"):
+        desc = caps.descriptor_for(name)
+        assert desc is not None and desc.backend == name
+    # versioned registry aliases fall back to the family descriptor
+    assert caps.descriptor_for("nccl-2.11") is caps.descriptor_for("nccl")
+    # ...but unknown names (no dash to strip) stay unknown
+    assert caps.descriptor_for("onecll") is None
+
+
+def test_negotiate_intersection():
+    nccl = caps.DESCRIPTORS["nccl"]
+    rccl = caps.DESCRIPTORS["rccl"]
+    hccl = caps.DESCRIPTORS["hccl"]
+    both = caps.negotiate([nccl, rccl])
+    assert both.datatypes == nccl.datatypes == rccl.datatypes
+    assert both.max_ranks == min(nccl.max_ranks, rccl.max_ranks)
+    assert both.wire_formats[0] == caps.WIRE_DEVICE
+    # HCCL is float-only and host-wire-only: the intersection shrinks
+    narrow = caps.negotiate([nccl, hccl])
+    assert narrow.datatypes == frozenset({"xcclFloat32"})
+    assert narrow.wire_formats == (caps.WIRE_HOST,)
+    assert "hccl" in narrow.backend and "nccl" in narrow.backend
+
+
+def test_negotiate_empty_intersection_raises():
+    nccl = caps.DESCRIPTORS["nccl"]
+    alien = dataclasses.replace(
+        nccl, backend="alien", datatypes=frozenset({"xcclWeird"}))
+    with pytest.raises(MPIXNegotiationError, match="empty intersection"):
+        caps.negotiate([nccl, alien])
+    with pytest.raises(MPIXNegotiationError):
+        caps.negotiate([])
+
+
+def test_backend_classes_bind_descriptors():
+    from repro.xccl.registry import descriptor_for_backend, get_backend
+    assert get_backend("nccl").capabilities is caps.DESCRIPTORS["nccl"]
+    # version variants inherit the family descriptor
+    assert get_backend("nccl-2.11").capabilities is caps.DESCRIPTORS["nccl"]
+    assert descriptor_for_backend("hccl") is caps.DESCRIPTORS["hccl"]
+
+
+# -- mixed cluster builders ----------------------------------------------
+
+
+def test_make_mixed_system():
+    cluster = make_mixed_system("nvidia:2,amd:2")
+    assert cluster.node_count == 4 and cluster.device_count == 8
+    assert [n.name for n in cluster.nodes] == [
+        "mixed00-nvidia", "mixed01-nvidia", "mixed02-amd", "mixed03-amd"]
+    # every node is a single-vendor island
+    assert {n.vendor for n in cluster.nodes} == {Vendor.NVIDIA, Vendor.AMD}
+    for bad in ("", "nvidia:0", "martian:2"):
+        with pytest.raises(ConfigError):
+            make_mixed_system(bad)
+    with pytest.raises(ConfigError):
+        mixed([(Vendor.NVIDIA, 1)], devices_per_node=0)
+
+
+def test_node_vendor_properties():
+    node = make_system("thetagpu").nodes[0]
+    assert node.vendors == (Vendor.NVIDIA,)
+    assert node.vendor is Vendor.NVIDIA
+    from repro.hw.node import Node
+    from repro.hw.systems import _a100, _mi100
+    from repro.hw.links import NVSWITCH, IB_HDR
+    from repro.hw.device import HostCPU
+    franken = Node("franken", HostCPU("x", 1, 1, 1 << 30),
+                   [_a100(), _mi100()], intra_link=NVSWITCH, nic=IB_HDR)
+    assert franken.vendors == (Vendor.AMD, Vendor.NVIDIA)
+    with pytest.raises(TopologyError, match="mixes device vendors"):
+        franken.vendor
+
+
+# -- the bridge route ----------------------------------------------------
+
+
+def _mixed_cluster():
+    return make_mixed_system("nvidia:2,amd:2")
+
+
+def test_gate_off_mixed_degrades_to_mpi(restore_gates):
+    """Hetero gate off: the mixed comm runs the plain MPI route — no
+    negotiation, no bridge — and still computes correctly."""
+    out, snap = _run(_collectives_body, _mixed_cluster(), 8, 2,
+                     hetero=False)
+    assert snap["negotiations"] == 0
+    assert snap["route_bridge"] == 0
+    assert len(out) == 8 and all(o == out[0] for o in out[:1])
+
+
+def test_gate_on_homogeneous_is_inert(restore_gates):
+    """On a single-vendor comm the hetero gate changes nothing: no
+    negotiation runs and no call takes the bridge."""
+    _, snap = _run(_collectives_body, make_system("thetagpu", 4), 8, 2,
+                   hetero=True)
+    assert snap["negotiations"] == 0
+    assert snap["route_bridge"] == 0
+
+
+def test_mixed_bit_identity_and_counters(restore_gates):
+    """The 2+2-node NVIDIA+AMD job must produce payloads bit-identical
+    to (a) the same mixed job with the bridge off and (b) a
+    homogeneous run of the same shape — and negotiate exactly once."""
+    base, _ = _run(_collectives_body, _mixed_cluster(), 8, 2,
+                   hetero=False)
+    bridged, snap = _run(_collectives_body, _mixed_cluster(), 8, 2,
+                         hetero=True)
+    homog, _ = _run(_collectives_body, make_system("thetagpu", 4), 8, 2,
+                    hetero=False)
+    assert snap["negotiations"] == 1
+    assert snap["route_bridge"] > 0
+    assert snap["bridge_hops"] > 0
+    for rank, (a, b, c) in enumerate(zip(base, bridged, homog)):
+        for key in a:
+            assert a[key] == b[key], f"rank {rank} {key}: bridge differs"
+            assert a[key] == c[key], f"rank {rank} {key}: homog differs"
+
+
+def test_unequal_islands_leader_fallback(restore_gates):
+    """Islands of different sizes have no rail mates: allreduce falls
+    back to the leader-hop path and still matches the MPI route
+    bit-for-bit."""
+    cluster = make_mixed_system("nvidia:1,amd:2")
+    base, _ = _run(_collectives_body, cluster, 6, 2, hetero=False)
+    bridged, snap = _run(_collectives_body,
+                         make_mixed_system("nvidia:1,amd:2"), 6, 2,
+                         hetero=True)
+    assert snap["negotiations"] == 1
+    assert snap["route_bridge"] > 0
+    for rank, (a, b) in enumerate(zip(base, bridged)):
+        for key in a:
+            assert a[key] == b[key], f"rank {rank} {key}: bridge differs"
+
+
+@pytest.mark.parametrize("plan_cache", [False, True])
+@pytest.mark.parametrize("zero_copy", [False, True])
+@pytest.mark.parametrize("group_fusion", [False, True])
+def test_gate_combos_payload_parity(restore_gates, plan_cache, zero_copy,
+                                    group_fusion):
+    """The bridge composes with every other gate: payloads match the
+    all-defaults bridge run across the 2^3 combinations."""
+    expect, _ = _run(_collectives_body, _mixed_cluster(), 8, 2,
+                     hetero=True)
+    fastpath.configure(plan_cache=plan_cache, zero_copy=zero_copy,
+                       group_fusion=group_fusion)
+    got = runtime.run(_collectives_body, system=_mixed_cluster(),
+                      nranks=8, ranks_per_node=2)
+    assert got == expect
+
+
+def test_comm_free_releases_bridge_state(restore_gates):
+    """``Comm_free`` drops the cached island sub-communicator, the
+    hetero info, and the negotiated descriptor."""
+    def body(mpx):
+        comm = mpx.COMM_WORLD
+        dup = mpx.attach(comm.Dup())
+        send = mpx.device_array(N, fill=1.0)
+        recv = mpx.device_array(N, fill=0.0)
+        dup.Allreduce(send, recv, SUM)
+        cached = [k in dup.__dict__
+                  for k in ("_bridge_info", "_bridge_topo", "_hetero_desc")]
+        dup.Free()
+        released = [k not in dup.__dict__
+                    for k in ("_bridge_info", "_bridge_topo", "_hetero_desc")]
+        return cached, released, float(recv.array[0])
+
+    out, _ = _run(body, _mixed_cluster(), 8, 2, hetero=True)
+    for cached, released, value in out:
+        assert all(cached), "bridge state was never cached"
+        assert all(released), "Free left bridge state behind"
+        assert value == 8.0
+
+
+def test_negotiation_failure_is_clean_error(restore_gates):
+    """An empty datatype intersection must surface as an MPIX
+    negotiation error on every rank — not a deadlock."""
+    rccl = caps.DESCRIPTORS["rccl"]
+    caps.register_descriptor(
+        dataclasses.replace(rccl, datatypes=frozenset({"xcclWeird"})))
+    try:
+        with pytest.raises(RankFailedError) as info:
+            _run(_collectives_body, _mixed_cluster(), 8, 2, hetero=True)
+    finally:
+        caps.register_descriptor(rccl)
+    failures = info.value.failures
+    assert failures and all(
+        isinstance(exc, MPIXNegotiationError) for exc in failures.values())
