@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero bench-all check-gates scale-smoke trace-smoke hier-smoke hetero-smoke report examples tune clean
+.PHONY: install lint test test-all bench bench-quick bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero bench-online-tune bench-all check-gates scale-smoke trace-smoke hier-smoke hetero-smoke elastic-smoke report examples tune clean
 
 install:
 	pip install -e .
@@ -55,8 +55,13 @@ bench-hier:
 bench-hetero:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hetero.py
 
+# online tuner vs a deliberately wrong static table (oracle-route
+# recovery fraction; writes BENCH_online_tune.json)
+bench-online-tune:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_online_tune.py
+
 # refresh every committed BENCH_*.json in one go
-bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero
+bench-all: bench-hotpath bench-fusion bench-zerocopy bench-engine bench-hier bench-hetero bench-online-tune
 
 # tier-1 suite with each fast-path gate individually toggled: every
 # optimisation must be pure wall-clock, invisible to results
@@ -68,6 +73,8 @@ check-gates:
 	MPIX_COOP_SCHED=1 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_HIER_PIPE=1 $(PYTHON) -m pytest tests/ -x -q
 	MPIX_HETERO=1 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_ONLINE_TUNE=1 $(PYTHON) -m pytest tests/ -x -q
+	MPIX_ELASTIC=1 $(PYTHON) -m pytest tests/ -x -q
 
 # fast CI leg: a 256-rank oversubscribed job must stay quick and
 # bit-identical under both rank schedulers
@@ -115,6 +122,17 @@ hetero-smoke:
 		--trace $(HETERO_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(HETERO_SMOKE)
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli summarize $(HETERO_SMOKE)
+
+# elastic CI leg: 16-rank traced allreduce loop with one rank killed
+# mid-run — survivors revoke/agree/shrink and finish a fixed schedule,
+# the online tuner re-fits for the survivor shape, and the trace is
+# validated plus rendered through tune-report
+ELASTIC_SMOKE ?= /tmp/mpix-elastic-smoke.json
+elastic-smoke:
+	PYTHONPATH=src $(PYTHON) tools/elastic_smoke.py $(ELASTIC_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli validate $(ELASTIC_SMOKE)
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli tune-report $(ELASTIC_SMOKE) \
+		--system thetagpu --nodes 2 --ranks 16
 
 report:
 	$(PYTHON) -m repro.experiments.cli report --scale paper -o EXPERIMENTS.md

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro import fastpath
-from repro.errors import CCLError, MPIError
+from repro.errors import CCLError, MPIError, TuningTableError
 from repro.core.fallback import FallbackReason, Route, RouteDecision, RouteStats
 from repro.core.plan import CollectivePlan, PlanCache
 from repro.core.tuning_table import TUNABLE_COLLECTIVES, TuningTable, cached_table
@@ -352,6 +352,12 @@ class CollectivePipeline:
         #: pipeline is per-rank, so these are thread-confined.
         self._plans: Dict[str, PlanCache] = {}
         self._tables: Dict[str, TuningTable] = {}
+        #: online-tuner bookkeeping (MPIX_ONLINE_TUNE): this rank's own
+        #: per-(comm, collective, size-bucket) call counters — identical
+        #: across ranks by SPMD, which is what keeps tuned routes from
+        #: diverging — and the key of the call currently in flight.
+        self._tune_calls: Dict[Tuple[str, str, int], int] = {}
+        self._observe_key: Optional[Tuple[str, str, int]] = None
 
     # -- stage tracing -------------------------------------------------------
 
@@ -445,17 +451,58 @@ class CollectivePipeline:
                                             on_device)
         if fallback is not None:
             return fallback
-        if (self.mode == DispatchMode.HYBRID
-                and fastpath.hier_pipe_enabled()
-                and coll in hier_exec.HIER_TUNING_KEYS
-                and nbytes >= hier_exec.hier_min_bytes(coll)
-                and (op is None or op.commutative)
-                and hier_exec.hier_eligible(comm)):
+        hier_ok = (self.mode == DispatchMode.HYBRID
+                   and fastpath.hier_pipe_enabled()
+                   and coll in hier_exec.HIER_TUNING_KEYS
+                   and nbytes >= hier_exec.hier_min_bytes(coll)
+                   and (op is None or op.commutative)
+                   and hier_exec.hier_eligible(comm))
+        tuned = self._tuning_active(coll)
+        if hier_ok and not tuned:
             return RouteDecision(Route.HIER)
         if self.mode == DispatchMode.PURE_XCCL:
             return RouteDecision(Route.XCCL)
-        if self._table_for(comm).choose(coll, nbytes) == "xccl":
+        try:
+            static = self._table_for(comm).choose(coll, nbytes)
+        except TuningTableError:
+            # a collective absent from the table degrades to the MPI
+            # algorithms like a capability miss, instead of erroring
+            self._mark(f"tuning:missing:{coll}")
+            return RouteDecision(Route.MPI, FallbackReason.TUNING_MISS)
+        if tuned:
+            return self._route_online(comm, coll, nbytes,
+                                      "hier" if hier_ok else static, hier_ok)
+        if static == "xccl":
             return RouteDecision(Route.XCCL)
+        return RouteDecision(Route.MPI, FallbackReason.TUNING)
+
+    def _tuning_active(self, coll: str) -> bool:
+        """Whether the online tuner steers this collective's route."""
+        return (self.mode == DispatchMode.HYBRID
+                and fastpath.online_tune_enabled()
+                and coll in TUNABLE_COLLECTIVES)
+
+    def _route_online(self, comm, coll: str, nbytes: int, static: str,
+                      hier_ok: bool) -> RouteDecision:
+        """Consult the engine's measured-latency overlay before the
+        static table (MPIX_ONLINE_TUNE).  ``static`` is the route the
+        offline chain would have taken — followed verbatim through the
+        observe warm-up, so short runs never deviate."""
+        from repro.core import online_tune
+        tuner = comm.ctx.engine.online_tuner
+        bucket = online_tune.size_bucket(nbytes)
+        key = (comm.ctx_id, coll, bucket)
+        idx = self._tune_calls.get(key, 0)
+        self._tune_calls[key] = idx + 1
+        candidates = ["mpi", "xccl"] + (["hier"] if hier_ok else [])
+        route, phase = tuner.advise(comm.ctx_id, coll, bucket, idx, static,
+                                    candidates)
+        self._mark(f"tune:{phase}:{route}")
+        self._observe_key = key
+        if route == "xccl":
+            return RouteDecision(Route.XCCL)
+        if route == "hier":
+            return RouteDecision(Route.HIER)
         return RouteDecision(Route.MPI, FallbackReason.TUNING)
 
     def _route_hetero(self, comm, coll: str, dt, op, significant,
@@ -519,6 +566,13 @@ class CollectivePipeline:
             self.layer.identify_device_buffer(*significant)
         if not fastpath.plans_enabled():
             self._mark("plan:off")
+            return self.route(comm, coll, nbytes, dt, op, significant,
+                              on_device)
+        if self._tuning_active(coll):
+            # the online tuner's phase is a function of the per-bucket
+            # call index — a cached decision would freeze the warm-up
+            # route, so tuned collectives always walk the route stage
+            self._mark("plan:tune")
             return self.route(comm, coll, nbytes, dt, op, significant,
                               on_device)
         key = (self.mode, coll, nbytes, dt.name if dt is not None else None,
@@ -623,16 +677,32 @@ class CollectivePipeline:
         """Push one descriptor through all five stages."""
         spec = self.validate(call)
         self._mark(f"validate:{call.coll}")
+        self._observe_key = None
+        t0 = self.layer.ctx.now
         decision = self.decide(call.comm, spec.tuning_key, spec.nbytes(call),
                                call.dt, call.op, *spec.buffers(call))
-        self.execute(call, spec, decision)
+        final = self.execute(call, spec, decision)
+        if self._observe_key is not None:
+            # feed the measured latency (and the route that actually
+            # ran, which differs on a rescued CCL error) back into the
+            # online tuner's overlay
+            ctx_id, coll, bucket = self._observe_key
+            self._observe_key = None
+            call.comm.ctx.engine.online_tuner.observe(
+                ctx_id, coll, bucket, final.route.value,
+                self.layer.ctx.now - t0)
 
     # -- lifecycle ----------------------------------------------------------
 
     def release(self, comm) -> None:
         """Drop everything cached for ``comm`` (MPI ``Comm_free``):
-        compiled plans, the tuning table binding, and the abstraction
-        layer's CCL communicator."""
+        compiled plans, the tuning table binding, the online-tuning
+        overlay, and the abstraction layer's CCL communicator."""
         self._plans.pop(comm.ctx_id, None)
         self._tables.pop(comm.ctx_id, None)
+        for key in [k for k in self._tune_calls if k[0] == comm.ctx_id]:
+            del self._tune_calls[key]
+        tuner = getattr(comm.ctx.engine, "online_tuner", None)
+        if tuner is not None:
+            tuner.release(comm.ctx_id)
         self.layer.release(comm)

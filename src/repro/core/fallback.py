@@ -34,6 +34,7 @@ class FallbackReason(enum.Enum):
     NO_BACKEND = "no_backend"          # no CCL registered for the vendor
     UNSUPPORTED_COLL = "unsupported_coll"  # e.g. scan has no CCL mapping
     TUNING = "tuning"                  # hybrid table says MPI is faster
+    TUNING_MISS = "tuning_miss"        # collective absent from the table
     MODE = "mode"                      # dispatcher pinned to pure MPI
     CCL_ERROR = "ccl_error"            # backend raised at run time
     MIXED_VENDOR = "mixed_vendor"      # hetero comm, bridge off/ineligible

@@ -138,6 +138,15 @@ def tune_offline(shape: CommShape, ccl: CCLParams, mpi_config: MPIConfig,
 _cache: Dict[Tuple, TuningTable] = {}
 
 
+def clear_cache() -> None:
+    """Drop every memoized table.
+
+    Called from ``Engine.__init__`` so back-to-back runs in one process
+    can never serve a table tuned for a previous system — the same
+    leak class ``fastpath.STATS.reset()`` closes for the counters."""
+    _cache.clear()
+
+
 def cached_table(shape: CommShape, ccl: CCLParams,
                  mpi_config: MPIConfig) -> TuningTable:
     """Process-wide memoized :func:`tune_offline`.

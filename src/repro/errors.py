@@ -62,6 +62,18 @@ class DeadlockError(SimulationError):
     arrive (conservative detection via the engine watchdog)."""
 
 
+class RankKilledError(SimulationError):
+    """Raised inside a rank program when a :meth:`FaultPlan.kill` rule
+    fires: the rank's virtual clock crossed the kill deadline and the
+    process is considered dead.  Carries the victim's world rank."""
+
+    def __init__(self, rank, at_us=None):
+        self.rank = int(rank)
+        self.at_us = at_us
+        when = "" if at_us is None else f" at t={at_us:.1f}us"
+        super().__init__(f"rank {self.rank} killed by fault injection{when}")
+
+
 # ---------------------------------------------------------------------------
 # MPI runtime
 # ---------------------------------------------------------------------------
@@ -92,6 +104,21 @@ class MPIOpError(MPIError):
 
 class MPITruncateError(MPIError):
     """Receive buffer too small for a matched message (``MPI_ERR_TRUNCATE``)."""
+
+
+class CommRevokedError(MPIError):
+    """ULFM-style ``MPIX_ERR_REVOKED``: the communicator was revoked —
+    either explicitly via :meth:`Communicator.Comm_revoke` or because a
+    peer rank died mid-operation.  Carries the communicator context id
+    and the failure set known at raise time; survivors recover with
+    ``Comm_agree`` + ``Comm_shrink``."""
+
+    def __init__(self, ctx_id, failed=()):
+        self.ctx_id = ctx_id
+        self.failed = tuple(sorted(failed))
+        dead = ", ".join(str(r) for r in self.failed) or "unknown"
+        super().__init__(
+            f"communicator {ctx_id!r} revoked (failed ranks: {dead})")
 
 
 class MPIXNegotiationError(MPIError):

@@ -65,7 +65,27 @@ a routing choice), never payloads; with the gate off, mixed
 communicators fall back to the plain MPI algorithms, and on
 single-vendor communicators the gate is provably inert.
 
-All seven gates live in one registry (:data:`GATE_ENV`) keyed by the
+The online autotuner (``MPIX_ONLINE_TUNE`` /
+:func:`set_online_tune_enabled`) is the eighth gate, default off: the
+dispatch pipeline feeds measured per-(collective, size-bucket,
+comm-shape) latencies back into a per-communicator overlay on the
+static tuning table (:mod:`repro.core.online_tune`), and after a short
+observe/explore warm-up the route stage follows the re-fitted
+crossovers instead of the offline table.  Like the hierarchical route
+it changes virtual times (it is a routing choice), never payloads;
+runs shorter than the warm-up never deviate from the static table, so
+the gate is provably inert on short jobs.
+
+Elastic fault tolerance (``MPIX_ELASTIC`` /
+:func:`set_elastic_enabled`) is the ninth gate, default off: ULFM-style
+``Comm_revoke`` / ``Comm_agree`` / ``Comm_shrink`` on
+:class:`repro.mpi.communicator.Communicator`, with rank deaths injected
+by ``FaultPlan.kill`` surfacing as :class:`CommRevokedError` on the
+survivors instead of tearing down the whole run.  With the gate off
+(and no kill rules installed) every path is byte-for-byte the old
+behavior — a dead rank still fails the run.
+
+All nine gates live in one registry (:data:`GATE_ENV`) keyed by the
 dispatch-pipeline stage they toggle, and are queried through the single
 :func:`gate_enabled` choke point.  :func:`configure` flips any subset
 and returns the previous states (restore with ``configure(**prev)``);
@@ -93,16 +113,20 @@ GATE_ENV: Dict[str, str] = {
     "coop_sched": "MPIX_COOP_SCHED",       # cooperative rank scheduler
     "hier_pipe": "MPIX_HIER_PIPE",         # pipelined hierarchical route
     "hetero": "MPIX_HETERO",               # mixed-vendor bridge route
+    "online_tune": "MPIX_ONLINE_TUNE",     # online tuning-table overlay
+    "elastic": "MPIX_ELASTIC",             # ULFM revoke/shrink/agree
 }
 
 #: gates that default off when their variable is unset (tracing costs
 #: memory per event, so it is opt-in; the cooperative scheduler changes
 #: the engine's execution model, so it is opt-in too; the hierarchical
 #: route changes multi-node virtual times, so it is opt-in as well,
-#: and so does the mixed-vendor bridge; the wall-clock gates default
-#: on).
+#: and so does the mixed-vendor bridge; the online tuner changes
+#: routing over time and the elastic error model changes failure
+#: semantics, so both are opt-in; the wall-clock gates default on).
 _GATE_DEFAULTS: Dict[str, str] = {"trace": "0", "coop_sched": "0",
-                                  "hier_pipe": "0", "hetero": "0"}
+                                  "hier_pipe": "0", "hetero": "0",
+                                  "online_tune": "0", "elastic": "0"}
 
 
 def _env_gate(var: str, default: str = "1") -> bool:
@@ -131,7 +155,9 @@ def configure(plan_cache: Optional[bool] = None,
               trace: Optional[bool] = None,
               coop_sched: Optional[bool] = None,
               hier_pipe: Optional[bool] = None,
-              hetero: Optional[bool] = None) -> Dict[str, bool]:
+              hetero: Optional[bool] = None,
+              online_tune: Optional[bool] = None,
+              elastic: Optional[bool] = None) -> Dict[str, bool]:
     """Set any subset of the fast-path gates at once.
 
     Returns the *previous* state of every gate, so a caller can restore
@@ -145,7 +171,9 @@ def configure(plan_cache: Optional[bool] = None,
                        ("trace", trace),
                        ("coop_sched", coop_sched),
                        ("hier_pipe", hier_pipe),
-                       ("hetero", hetero)):
+                       ("hetero", hetero),
+                       ("online_tune", online_tune),
+                       ("elastic", elastic)):
         if flag is not None:
             _gates[name] = bool(flag)
     return prev
@@ -252,6 +280,34 @@ def set_hetero_enabled(flag: bool) -> bool:
     return configure(hetero=flag)["hetero"]
 
 
+def online_tune_enabled() -> bool:
+    """Whether the route stage consults the online tuning overlay
+    (``MPIX_ONLINE_TUNE``).
+
+    Routes only deviate from the static table after the per-bucket
+    observe/explore warm-up completes, so short runs are bit-identical
+    either way."""
+    return _gates["online_tune"]
+
+
+def set_online_tune_enabled(flag: bool) -> bool:
+    """Flip the online tuner on or off; returns the previous setting."""
+    return configure(online_tune=flag)["online_tune"]
+
+
+def elastic_enabled() -> bool:
+    """Whether communicators use the ULFM-style elastic error model
+    (``MPIX_ELASTIC``): peer death surfaces as ``CommRevokedError``
+    and survivors may ``Comm_agree`` + ``Comm_shrink``."""
+    return _gates["elastic"]
+
+
+def set_elastic_enabled(flag: bool) -> bool:
+    """Flip the elastic error model on or off; returns the previous
+    setting."""
+    return configure(elastic=flag)["elastic"]
+
+
 class PlanStats:
     """Hit/miss/compile counters for the plan-caching layer.
 
@@ -294,6 +350,12 @@ class PlanStats:
         self.coop_runs = 0          # engine runs under the coop scheduler
         self.coop_parks = 0         # fiber deschedules (blocked waits)
         self.coop_switches = 0      # run-token handoffs
+        #: online-tuner counters (MPIX_ONLINE_TUNE):
+        self.online_updates = 0     # per-bucket crossover re-fits
+        self.route_flips = 0        # re-fits that changed the static route
+        #: elastic fault-tolerance counters (MPIX_ELASTIC):
+        self.comm_revokes = 0       # communicators revoked (once per comm)
+        self.comm_shrinks = 0       # shrink agreements completed (per comm)
 
     def note_hit(self, n: int = 1) -> None:
         """Record ``n`` plan-cache hits."""
@@ -397,6 +459,26 @@ class PlanStats:
             self.coop_parks += parks
             self.coop_switches += switches
 
+    def note_online_update(self, flipped: bool) -> None:
+        """Record one online-tuner bucket re-fit; ``flipped`` when the
+        fitted route differs from the static table's choice."""
+        with self._lock:
+            self.online_updates += 1
+            if flipped:
+                self.route_flips += 1
+
+    def note_revoke(self) -> None:
+        """Record one communicator revocation (the engine deduplicates,
+        so this counts communicators, not raising ranks)."""
+        with self._lock:
+            self.comm_revokes += 1
+
+    def note_shrink(self) -> None:
+        """Record one completed shrink agreement (the rendezvous
+        computes once, so this counts communicators, not ranks)."""
+        with self._lock:
+            self.comm_shrinks += 1
+
     def reset(self) -> None:
         """Zero every counter (test isolation)."""
         with self._lock:
@@ -410,6 +492,8 @@ class PlanStats:
             self.route_hier = self.hier_chunks = self.hier_stripe_ops = 0
             self.negotiations = self.route_bridge = self.bridge_hops = 0
             self.coop_runs = self.coop_parks = self.coop_switches = 0
+            self.online_updates = self.route_flips = 0
+            self.comm_revokes = self.comm_shrinks = 0
 
     def snapshot(self) -> Dict[str, int]:
         """A consistent copy of the counters."""
@@ -437,7 +521,11 @@ class PlanStats:
                     "bridge_hops": self.bridge_hops,
                     "coop_runs": self.coop_runs,
                     "coop_parks": self.coop_parks,
-                    "coop_switches": self.coop_switches}
+                    "coop_switches": self.coop_switches,
+                    "online_updates": self.online_updates,
+                    "route_flips": self.route_flips,
+                    "comm_revokes": self.comm_revokes,
+                    "comm_shrinks": self.comm_shrinks}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.snapshot()

@@ -16,7 +16,9 @@ import itertools
 from typing import List, Optional, Sequence, Tuple
 
 
-from repro.errors import MPICommError, MPICountError, MPIRankError
+from repro import fastpath
+from repro.errors import (CommRevokedError, DeadlockError, MPICommError,
+                          MPICountError, MPIRankError, RankKilledError)
 from repro.hw.memory import as_array
 from repro.mpi.config import MPIConfig, mvapich_gpu
 from repro.mpi.datatypes import Datatype, datatype_of
@@ -61,6 +63,7 @@ class Communicator:
         self.config = config
         self.group: Tuple[int, ...] = tuple(group)
         self.ctx_id = ctx_id
+        ctx.engine.register_ctx_group(ctx_id, self.group)
         self.endpoint = P2PEndpoint(ctx, config, ctx_id)
         self._from_world = {w: i for i, w in enumerate(self.group)}
         self._rank = self._from_world[ctx.rank]
@@ -118,6 +121,18 @@ class Communicator:
         if self._freed:
             return
         self._freed = True
+        self._release_routing_caches()
+
+    def _release_routing_caches(self) -> None:
+        """Tear down every per-communicator routing cache.
+
+        Shared by :meth:`Free` and :meth:`Comm_shrink`: a shrunk
+        communicator's parent keeps its identity (user code may still
+        translate ranks through it) but must drop hierarchical
+        sub-communicators, bridge/hetero descriptors, compiled plans and
+        online-tuning overlays — all keyed to a rank set that no longer
+        exists.
+        """
         hier = self.__dict__.pop("_hier_comms", None)
         if hier is not None:
             for sub in hier:
@@ -137,6 +152,127 @@ class Communicator:
     def _check_live(self) -> None:
         if self._freed:
             raise MPICommError("communicator used after Free")
+
+    # -- fault tolerance (ULFM-style, MPIX_ELASTIC) ---------------------------
+
+    def _elastic(self, run):
+        """Run one blocking operation under the elastic-failure contract.
+
+        With ``MPIX_ELASTIC`` off this is a plain call — failures keep
+        their historical semantics (the run dies with
+        :class:`~repro.errors.RankFailedError`).  With it on, an
+        operation on a revoked communicator — or one whose peers
+        include a dead rank, observed as the deadlock the death causes
+        — raises :class:`~repro.errors.CommRevokedError` instead, after
+        revoking the communicator engine-wide so every survivor agrees.
+        The dying rank itself keeps its :class:`RankKilledError`.
+        """
+        if not fastpath.elastic_enabled():
+            return run()
+        engine = self.ctx.engine
+        if engine.is_revoked(self.ctx_id):
+            raise CommRevokedError(
+                self.ctx_id, engine.dead_ranks & set(self.group))
+        try:
+            return run()
+        except (DeadlockError, RankKilledError) as exc:
+            if isinstance(exc, RankKilledError) and \
+                    exc.rank == self.ctx.rank:
+                raise  # our own death: propagate to the engine
+            dead = engine.dead_ranks & set(self.group)
+            if dead or engine.is_revoked(self.ctx_id):
+                engine.revoke_comm(self.ctx_id)
+                raise CommRevokedError(self.ctx_id, dead) from exc
+            raise
+
+    def Comm_revoke(self) -> None:
+        """Revoke the communicator (``MPIX_Comm_revoke``).
+
+        Idempotent and engine-wide: after any rank revokes, every
+        pending and future operation on this communicator raises
+        :class:`~repro.errors.CommRevokedError` on every survivor.
+        """
+        self._check_live()
+        self.ctx.engine.revoke_comm(self.ctx_id)
+
+    def Comm_is_revoked(self) -> bool:
+        """True once any rank has revoked this communicator."""
+        return self.ctx.engine.is_revoked(self.ctx_id)
+
+    def _survivors(self) -> Tuple[int, ...]:
+        dead = self.ctx.engine.dead_ranks
+        return tuple(w for w in self.group if w not in dead)
+
+    def Comm_agree(self, flag: int = 1) -> Tuple[int, Tuple[int, ...]]:
+        """Fault-tolerant agreement (``MPIX_Comm_agree``).
+
+        Survivors rendezvous (the dead are excluded by construction)
+        and agree on the bitwise-AND of their ``flag`` values and the
+        union of their locally-known failed ranks.  Returns
+        ``(agreed_flag, failed_ranks)`` — identical on every survivor.
+        The wait is *patient* (see :data:`repro.sim.sched.PATIENT_STALLS`):
+        survivors reach the agreement staggered, one recovery at a
+        time, so transient deadlock firings en route are absorbed.
+        """
+        self._check_live()
+        engine = self.ctx.engine
+        survivors = self._survivors()
+        slot = self.ctx.collective_slot((self.ctx_id, "ulfm-agree"),
+                                        parties=len(survivors), patient=True)
+
+        def compute(payloads):
+            agreed = ~0
+            dead: set = set()
+            for f, d in payloads.values():
+                agreed &= int(f)
+                dead.update(d)
+            return int(agreed), tuple(sorted(dead))
+
+        local_dead = tuple(sorted(engine.dead_ranks & set(self.group)))
+        result = slot.exchange(survivors.index(self.ctx.rank),
+                               (int(flag), local_dead), compute)
+        self.ctx.clock.advance(2.0)  # agreement metadata round, tiny
+        return result
+
+    def Comm_shrink(self) -> "Communicator":
+        """Build a working communicator from the survivors
+        (``MPIX_Comm_shrink``).
+
+        Survivors rendezvous, verify they see the same survivor set,
+        and derive a fresh context id from an engine-wide shrink
+        generation — computed exactly once, inside the rendezvous, so
+        every survivor names the new communicator identically.  The old
+        communicator's routing caches (hierarchy, bridge descriptors,
+        compiled plans, online-tuning overlays) are torn down: they are
+        keyed to the pre-failure rank set.  The new communicator keeps
+        this rank's dispatcher, so hybrid routing — and, with
+        ``MPIX_ONLINE_TUNE`` on, re-tuning for the survivor shape —
+        resumes immediately.
+        """
+        self._check_live()
+        engine = self.ctx.engine
+        survivors = self._survivors()
+        ctx_id = self.ctx_id
+        slot = self.ctx.collective_slot((ctx_id, "ulfm-shrink"),
+                                        parties=len(survivors), patient=True)
+
+        def compute(payloads):
+            views = set(payloads.values())
+            if len(views) != 1:
+                raise MPICommError(
+                    f"Comm_shrink survivor views disagree: {sorted(views)}")
+            gen = engine.shrink_generation(ctx_id)
+            fastpath.STATS.note_shrink()
+            return gen
+
+        gen = slot.exchange(survivors.index(self.ctx.rank), survivors,
+                            compute)
+        self.ctx.clock.advance(2.0)  # shrink metadata round, tiny
+        self._release_routing_caches()
+        new = Communicator(self.ctx, self._base_config, survivors,
+                           f"{ctx_id}!{gen}")
+        new.coll = self.coll
+        return new
 
     # -- identity -----------------------------------------------------------
 
@@ -196,10 +332,13 @@ class Communicator:
         from repro.mpi.derived import is_derived
         if is_derived(datatype):
             packed, n = self._pack_derived(buf, count, datatype)
-            self.endpoint.send(packed, self.world_rank(dest), tag, n,
-                               datatype.base)
+            self._elastic(
+                lambda: self.endpoint.send(packed, self.world_rank(dest), tag,
+                                           n, datatype.base))
             return
-        self.endpoint.send(buf, self.world_rank(dest), tag, count, datatype)
+        self._elastic(
+            lambda: self.endpoint.send(buf, self.world_rank(dest), tag, count,
+                                       datatype))
 
     def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              count: Optional[int] = None,
@@ -213,13 +352,16 @@ class Communicator:
             instances = count if count is not None else 1
             n = instances * datatype.elements_per_instance
             scratch = alloc_like(self.ctx, buf, n, datatype.base.storage)
-            status = self.endpoint.recv(scratch, src_world, tag, n,
-                                        datatype.base)
+            status = self._elastic(
+                lambda: self.endpoint.recv(scratch, src_world, tag, n,
+                                           datatype.base))
             datatype.unpack(as_array(scratch)[:n], buf, instances)
             self._pack_cost(n * datatype.base.wire_itemsize)
             status.count = instances
         else:
-            status = self.endpoint.recv(buf, src_world, tag, count, datatype)
+            status = self._elastic(
+                lambda: self.endpoint.recv(buf, src_world, tag, count,
+                                           datatype))
         status.source = self._from_world[status.source]
         return status
 
@@ -269,10 +411,10 @@ class Communicator:
                  datatype: Optional[Datatype] = None) -> Status:
         """Combined exchange (``MPI_Sendrecv``)."""
         self._check_live()
-        status = self.endpoint.sendrecv(
+        status = self._elastic(lambda: self.endpoint.sendrecv(
             sendbuf, self.world_rank(dest), recvbuf, self.world_rank(source),
             sendtag, recvtag if recvtag is not None else sendtag,
-            datatype=datatype)
+            datatype=datatype))
         status.source = self._from_world[status.source]
         return status
 
@@ -332,7 +474,7 @@ class Communicator:
     def Barrier(self) -> None:
         """``MPI_Barrier``."""
         self._check_live()
-        self.coll.barrier(self)
+        self._elastic(lambda: self.coll.barrier(self))
 
     def Bcast(self, buf, root: int = 0, count: Optional[int] = None,
               datatype: Optional[Datatype] = None) -> None:
@@ -340,7 +482,7 @@ class Communicator:
         self._check_live()
         count, dt = self._resolve(buf, buf, count, datatype)
         self.world_rank(root)
-        self.coll.bcast(self, buf, count, dt, root)
+        self._elastic(lambda: self.coll.bcast(self, buf, count, dt, root))
 
     def Reduce(self, sendbuf, recvbuf, op: Op = SUM, root: int = 0,
                count: Optional[int] = None,
@@ -350,7 +492,9 @@ class Communicator:
         count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
         op.validate(dt)
         self.world_rank(root)
-        self.coll.reduce(self, sendbuf, recvbuf, count, dt, op, root)
+        self._elastic(
+            lambda: self.coll.reduce(self, sendbuf, recvbuf, count, dt, op,
+                                     root))
 
     def Allreduce(self, sendbuf, recvbuf, op: Op = SUM,
                   count: Optional[int] = None,
@@ -359,7 +503,8 @@ class Communicator:
         self._check_live()
         count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
         op.validate(dt)
-        self.coll.allreduce(self, sendbuf, recvbuf, count, dt, op)
+        self._elastic(
+            lambda: self.coll.allreduce(self, sendbuf, recvbuf, count, dt, op))
 
     def Allgather(self, sendbuf, recvbuf, count: Optional[int] = None,
                   datatype: Optional[Datatype] = None) -> None:
@@ -371,7 +516,8 @@ class Communicator:
             if sendbuf is IN_PLACE:
                 count //= self.size
         dt = datatype or datatype_of(recvbuf)
-        self.coll.allgather(self, sendbuf, recvbuf, count, dt)
+        self._elastic(
+            lambda: self.coll.allgather(self, sendbuf, recvbuf, count, dt))
 
     def Allgatherv(self, sendbuf, recvbuf, counts: Sequence[int],
                    displs: Optional[Sequence[int]] = None,
@@ -380,7 +526,9 @@ class Communicator:
         self._check_live()
         dt = datatype or datatype_of(recvbuf)
         displs = list(displs) if displs is not None else _prefix(counts)
-        self.coll.allgatherv(self, sendbuf, recvbuf, list(counts), displs, dt)
+        self._elastic(
+            lambda: self.coll.allgatherv(self, sendbuf, recvbuf, list(counts),
+                                         displs, dt))
 
     def Alltoall(self, sendbuf, recvbuf, count: Optional[int] = None,
                  datatype: Optional[Datatype] = None) -> None:
@@ -389,7 +537,8 @@ class Communicator:
         if count is None:
             count = as_array(sendbuf).size // self.size
         dt = datatype or datatype_of(sendbuf)
-        self.coll.alltoall(self, sendbuf, recvbuf, count, dt)
+        self._elastic(
+            lambda: self.coll.alltoall(self, sendbuf, recvbuf, count, dt))
 
     def Alltoallv(self, sendbuf, sendcounts: Sequence[int],
                   recvbuf, recvcounts: Sequence[int],
@@ -401,8 +550,10 @@ class Communicator:
         dt = datatype or datatype_of(sendbuf)
         sdispls = list(sdispls) if sdispls is not None else _prefix(sendcounts)
         rdispls = list(rdispls) if rdispls is not None else _prefix(recvcounts)
-        self.coll.alltoallv(self, sendbuf, list(sendcounts), sdispls,
-                            recvbuf, list(recvcounts), rdispls, dt)
+        self._elastic(
+            lambda: self.coll.alltoallv(self, sendbuf, list(sendcounts),
+                                        sdispls, recvbuf, list(recvcounts),
+                                        rdispls, dt))
 
     def Gather(self, sendbuf, recvbuf, root: int = 0,
                count: Optional[int] = None,
@@ -413,7 +564,8 @@ class Communicator:
             count = as_array(sendbuf).size
         dt = datatype or datatype_of(sendbuf)
         self.world_rank(root)
-        self.coll.gather(self, sendbuf, recvbuf, count, dt, root)
+        self._elastic(
+            lambda: self.coll.gather(self, sendbuf, recvbuf, count, dt, root))
 
     def Gatherv(self, sendbuf, recvbuf, counts: Sequence[int],
                 displs: Optional[Sequence[int]] = None, root: int = 0,
@@ -423,7 +575,9 @@ class Communicator:
         dt = datatype or datatype_of(sendbuf)
         displs = list(displs) if displs is not None else _prefix(counts)
         self.world_rank(root)
-        self.coll.gatherv(self, sendbuf, recvbuf, list(counts), displs, dt, root)
+        self._elastic(
+            lambda: self.coll.gatherv(self, sendbuf, recvbuf, list(counts),
+                                      displs, dt, root))
 
     def Scatter(self, sendbuf, recvbuf, root: int = 0,
                 count: Optional[int] = None,
@@ -434,7 +588,8 @@ class Communicator:
             count = as_array(recvbuf).size
         dt = datatype or datatype_of(recvbuf)
         self.world_rank(root)
-        self.coll.scatter(self, sendbuf, recvbuf, count, dt, root)
+        self._elastic(
+            lambda: self.coll.scatter(self, sendbuf, recvbuf, count, dt, root))
 
     def Scatterv(self, sendbuf, counts: Sequence[int], recvbuf,
                  displs: Optional[Sequence[int]] = None, root: int = 0,
@@ -444,7 +599,9 @@ class Communicator:
         dt = datatype or datatype_of(recvbuf)
         displs = list(displs) if displs is not None else _prefix(counts)
         self.world_rank(root)
-        self.coll.scatterv(self, sendbuf, list(counts), displs, recvbuf, dt, root)
+        self._elastic(
+            lambda: self.coll.scatterv(self, sendbuf, list(counts), displs,
+                                       recvbuf, dt, root))
 
     def Reduce_scatter_block(self, sendbuf, recvbuf, op: Op = SUM,
                              count: Optional[int] = None,
@@ -455,7 +612,9 @@ class Communicator:
             count = as_array(recvbuf).size
         dt = datatype or datatype_of(recvbuf)
         op.validate(dt)
-        self.coll.reduce_scatter_block(self, sendbuf, recvbuf, count, dt, op)
+        self._elastic(
+            lambda: self.coll.reduce_scatter_block(self, sendbuf, recvbuf,
+                                                   count, dt, op))
 
     def Scan(self, sendbuf, recvbuf, op: Op = SUM,
              count: Optional[int] = None,
@@ -464,7 +623,8 @@ class Communicator:
         self._check_live()
         count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
         op.validate(dt)
-        self.coll.scan(self, sendbuf, recvbuf, count, dt, op)
+        self._elastic(
+            lambda: self.coll.scan(self, sendbuf, recvbuf, count, dt, op))
 
     def Exscan(self, sendbuf, recvbuf, op: Op = SUM,
                count: Optional[int] = None,
@@ -474,7 +634,8 @@ class Communicator:
         self._check_live()
         count, dt = self._resolve(sendbuf, recvbuf, count, datatype)
         op.validate(dt)
-        self.coll.exscan(self, sendbuf, recvbuf, count, dt, op)
+        self._elastic(
+            lambda: self.coll.exscan(self, sendbuf, recvbuf, count, dt, op))
 
     # -- nonblocking collectives (§1.2 advantage 4) ----------------------------
 

@@ -114,6 +114,31 @@ class P2PEndpoint:
         """One-way latency of a tiny control message."""
         return alpha + self.config.tag_matching_us
 
+    def _abort_reason(self, peer_world: int) -> Optional[str]:
+        """Why a blocking wait on ``peer_world`` can never complete, or
+        None while it still can.  Passed to the mailbox so a receive
+        whose peer died (or whose communicator was revoked) fails
+        deterministically instead of waiting out the stall watchdog —
+        and, crucially, so a watchdog firing for *other* ranks' stalls
+        never has to double as this rank's escape hatch."""
+        eng = self.ctx.engine
+        if not eng.dead_ranks and not eng._revoked:
+            return None  # fault-free fast path: no locks taken
+        if eng.is_revoked(self.ctx_id):
+            return f"communicator {self.ctx_id!r} was revoked"
+        if peer_world != ANY_SOURCE and peer_world in eng.dead_ranks:
+            return f"peer rank {peer_world} died"
+        # a dead member elsewhere in the communicator dooms any
+        # in-flight collective schedule this wait is part of, even when
+        # the direct peer is alive (it is blocked on the dead rank,
+        # transitively) — fail now rather than chaining stall timeouts
+        group = eng._ctx_groups.get(self.ctx_id)
+        if group:
+            dead = eng.dead_ranks.intersection(group)
+            if dead:
+                return f"communicator member rank(s) {sorted(dead)} died"
+        return None
+
     def _stage_to_host(self, nbytes: int) -> None:
         """Charge a pipelined D2H (or H2D) staging copy."""
         cfg = self.config
@@ -218,7 +243,8 @@ class P2PEndpoint:
                 return (m.meta.get("kind") == _KIND_CTS
                         and m.meta.get("seq") == seq)
             if blocking_wait:
-                cts = ctx.mailbox.match(src=dst_world, tag=ANY_TAG, where=match_cts)
+                cts = ctx.mailbox.match(src=dst_world, tag=ANY_TAG, where=match_cts,
+                                        abort=lambda: self._abort_reason(dst_world))
             else:
                 cts = ctx.mailbox.try_match(src=dst_world, tag=ANY_TAG, where=match_cts)
                 if cts is None:
@@ -257,7 +283,9 @@ class P2PEndpoint:
             return (m.meta.get("ctx_id") == self.ctx_id
                     and m.meta.get("kind") in (_KIND_EAGER, _KIND_RTS))
         if blocking:
-            return self.ctx.mailbox.match(src=src_world, tag=tag, where=match)
+            return self.ctx.mailbox.match(
+                src=src_world, tag=tag, where=match,
+                abort=lambda: self._abort_reason(src_world))
         return self.ctx.mailbox.try_match(src=src_world, tag=tag, where=match)
 
     def _finish_recv(self, msg: Message, buf, count: Optional[int],

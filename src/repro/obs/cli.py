@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     MetricsReport,
     aggregate_doc,
     diff_reports,
+    tune_report,
     validate_doc,
 )
 from repro.util.tables import ascii_table
@@ -92,6 +93,56 @@ def _validate(path: str) -> int:
     return 0
 
 
+def _tune_report(path: str, system: Optional[str], nodes: int,
+                 ranks: Optional[int], backend: Optional[str]) -> int:
+    """Measured per-(collective, size-bucket) route latencies from one
+    trace — the adapted view the ``MPIX_ONLINE_TUNE`` overlay acts on —
+    with the offline table's static choice alongside when a system
+    shape is given."""
+    from repro.core.online_tune import bucket_span
+    from repro.util.sizes import format_size
+
+    buckets = tune_report(_load(path))
+    if not buckets:
+        print("no execute spans in trace (was it recorded with tracing on?)")
+        return 1
+    table = None
+    if system is not None:
+        from repro.core.tuning_table import tune_offline
+        from repro.hw.systems import make_system
+        from repro.hw.vendors import default_ccl_for
+        from repro.mpi.config import mvapich_gpu
+        from repro.perfmodel import ccl_params
+        from repro.perfmodel.shape import shape_of
+        cluster = make_system(system, nodes)
+        nranks = ranks or cluster.device_count
+        ccl = backend or default_ccl_for(cluster.devices[0].vendor)
+        table = tune_offline(shape_of(cluster, range(nranks)),
+                             ccl_params(ccl), mvapich_gpu())
+        print(f"# static table: {system} x{nodes} nodes, {nranks} ranks, "
+              f"backend={ccl}")
+    rows = []
+    for (coll, bucket) in sorted(buckets):
+        routes = buckets[(coll, bucket)]
+        lo, hi = bucket_span(bucket)
+        measured = ", ".join(
+            f"{r}={c} @ {mean:.2f}us"
+            for r, (c, mean) in sorted(routes.items()))
+        winner = min(routes, key=lambda r: routes[r][1])
+        row = [coll, f"<= {format_size(hi)}", measured, winner]
+        if table is not None:
+            static = table.choose(coll, hi) if coll in table.entries \
+                else "mpi"
+            row.append(static)
+            row.append("FLIP" if static != winner else "")
+        rows.append(row)
+    headers = ["Collective", "Bucket", "Measured (calls @ mean)", "Adapted"]
+    if table is not None:
+        headers += ["Static", ""]
+    print(ascii_table(headers, rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point."""
     parser = argparse.ArgumentParser(prog="mpix-trace", description=__doc__)
@@ -110,11 +161,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="schema-check one trace (exit 1 on problems)")
     p.add_argument("trace")
 
+    p = sub.add_parser("tune-report",
+                       help="measured route latencies per (collective, "
+                            "size bucket) — the online tuner's view")
+    p.add_argument("trace")
+    p.add_argument("--system", default=None,
+                   help="also show the offline table's static choice "
+                        "for this system")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks", type=int, default=None)
+    p.add_argument("--backend", default=None)
+
     args = parser.parse_args(argv)
     if args.command == "summarize":
         return _summarize(args.trace)
     if args.command == "diff":
         return _diff(args.trace_a, args.trace_b)
+    if args.command == "tune-report":
+        return _tune_report(args.trace, args.system, args.nodes,
+                            args.ranks, args.backend)
     return _validate(args.trace)
 
 

@@ -217,6 +217,42 @@ def validate_doc(doc: Dict) -> List[str]:
     return problems
 
 
+def tune_report(doc: Dict) -> Dict[Tuple[str, int], Dict[str, List[float]]]:
+    """Aggregate a trace's execute spans into the online tuner's view:
+    ``{(collective, size bucket): {route family: [calls, mean us]}}``.
+
+    Route families collapse backend/reason detail (``xccl:nccl`` →
+    ``xccl``, ``mpi:tuning`` → ``mpi``) — the same granularity the
+    ``MPIX_ONLINE_TUNE`` overlay fits, so the ``tune-report`` CLI can
+    show the measured winner per bucket next to the static table's
+    choice."""
+    from repro.core.online_tune import size_bucket
+    acc: Dict[Tuple[str, int], Dict[str, List[float]]] = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        if args.get("kind") != "dispatch":
+            continue
+        name = ev.get("name", "")
+        if not name.startswith("execute:"):
+            continue
+        parts = name.split(":")
+        coll = parts[1] if len(parts) > 1 else "?"
+        family = parts[2] if len(parts) > 2 else "?"
+        nbytes = int(args.get("bytes", 0))
+        dur = float(ev.get("dur", 0.0))
+        cell = acc.setdefault((coll, size_bucket(nbytes)), {}) \
+                  .setdefault(family, [0, 0.0])
+        cell[0] += 1
+        cell[1] += dur
+    out: Dict[Tuple[str, int], Dict[str, List[float]]] = {}
+    for key, routes in acc.items():
+        out[key] = {r: [int(c), (t / c if c else 0.0)]
+                    for r, (c, t) in routes.items()}
+    return out
+
+
 def iter_step_spans(doc: Dict) -> Iterable[Dict]:
     """The application step-boundary spans (the Horovod trainer's
     ``step`` events), in document order."""

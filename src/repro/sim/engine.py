@@ -21,7 +21,8 @@ import itertools
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import DeadlockError, RankFailedError, SimulationError
+from repro.errors import (DeadlockError, RankFailedError, RankKilledError,
+                          SimulationError)
 from repro.hw.cluster import Cluster
 from repro.hw.device import Accelerator
 from repro.sim.clock import VirtualClock
@@ -49,13 +50,24 @@ class CollectiveSlot:
     """
 
     def __init__(self, key: Any, parties: int, monitor: ProgressMonitor,
-                 on_finish=None, waitq_factory=None) -> None:
+                 on_finish=None, waitq_factory=None,
+                 patient: bool = False, abort=None) -> None:
         if parties <= 0:
             raise SimulationError(f"collective slot needs parties > 0, got {parties}")
         self.key = key
         self.parties = parties
         self._monitor = monitor
         self._on_finish = on_finish
+        #: hopelessness probe (``() -> Optional[str]``): a non-None
+        #: reason means a party can never arrive (it died, or the
+        #: owning communicator was revoked) and waiters raise
+        #: :class:`DeadlockError` immediately instead of stalling out
+        self._abort = abort
+        #: patient slots (the ULFM agree/shrink rendezvous) absorb a few
+        #: stall/deadlock firings instead of raising on the first one —
+        #: during elastic recovery survivors arrive staggered, after
+        #: converting their own failures
+        self._patient = patient
         self._lock = threading.Lock()
         if waitq_factory is None:
             self._waitq = ThreadWaitq(self._lock, monitor)
@@ -105,10 +117,11 @@ class CollectiveSlot:
                 self._waitq.notify_all()
             else:
                 self._waitq.wait_for(
-                    lambda: self._done,
+                    self._done_or_hopeless,
                     lambda: (f"rank {rank} waiting in collective "
                              f"{self.key!r}: {len(self._payloads)}"
-                             f"/{self.parties} arrived"))
+                             f"/{self.parties} arrived"),
+                    patient=self._patient)
                 if self._error is not None:
                     raise self._error
             result = self._result
@@ -130,6 +143,27 @@ class CollectiveSlot:
                 if self._on_finish is not None:
                     self._on_finish(self)
             return result
+
+    def _done_or_hopeless(self) -> bool:
+        """Wait predicate: done, or provably never-completing (a party
+        died / the communicator was revoked) — the latter raises."""
+        if self._done:
+            return True
+        if self._abort is not None:
+            reason = self._abort()
+            if reason is not None:
+                raise DeadlockError(
+                    f"collective {self.key!r} can never complete: {reason}")
+        return False
+
+    def poison(self, exc: BaseException) -> None:
+        """Fail the slot from outside (communicator revocation): every
+        parked waiter is released and raises ``exc``.  No-op on a slot
+        that already completed."""
+        with self._lock:
+            if self._done:
+                return
+            self._fail_locked(exc)
 
     def _fail_locked(self, exc: BaseException) -> None:
         """Poison the slot: record the compute failure, drop the payload
@@ -158,7 +192,8 @@ class CollectiveSlot:
         self._waitq.wait_for(
             lambda: self._consume_done,
             lambda: (f"rank {rank} waiting for consumers of collective "
-                     f"{self.key!r}: {self._consumed}/{self.parties} done"))
+                     f"{self.key!r}: {self._consumed}/{self.parties} done"),
+            patient=self._patient)
 
     def consume_barrier(self, rank: int) -> None:
         """Exit barrier for borrowed payloads consumed *outside*
@@ -277,7 +312,8 @@ class RankContext:
         """Another rank's accelerator (for path lookups)."""
         return self.engine.device_of(rank)
 
-    def collective_slot(self, key: Any, parties: Optional[int] = None) -> CollectiveSlot:
+    def collective_slot(self, key: Any, parties: Optional[int] = None,
+                        patient: bool = False) -> CollectiveSlot:
         """The rendezvous slot for a keyed collective call.
 
         Keys are qualified with this rank's per-key use count, so the
@@ -288,7 +324,8 @@ class RankContext:
         """
         use = self._slot_uses.get(key, 0)
         self._slot_uses[key] = use + 1
-        return self.engine.collective_slot((key, use), parties or self.size)
+        return self.engine.collective_slot((key, use), parties or self.size,
+                                           patient=patient)
 
     def group_exchange_slot(self, key: Any, parties: int) -> "GroupExchangeSlot":
         """The rendezvous slot for a keyed fused group exchange (same
@@ -325,8 +362,31 @@ class Engine:
         self.trace_enabled = bool(trace) or fastpath.gate_enabled("trace")
         # the fast-path counters are process-global; a new engine is a
         # new run, so start it from zero (tests and back-to-back sweeps
-        # must not see a previous engine's counts)
+        # must not see a previous engine's counts).  The memoized tuning
+        # tables are the same leak class: a new engine may target a
+        # different system, so back-to-back runs must never be served a
+        # previous system's tables
         fastpath.STATS.reset()
+        from repro.core.tuning_table import clear_cache
+        clear_cache()
+        # measured-latency overlay shared by every rank's dispatch
+        # pipeline (only consulted while MPIX_ONLINE_TUNE is on)
+        from repro.core.online_tune import OnlineTuner
+        self.online_tuner = OnlineTuner()
+        # elastic (ULFM) state: ranks known dead and communicator
+        # contexts revoked, shared across rank threads (MPIX_ELASTIC)
+        self._elastic_lock = threading.Lock()
+        self.dead_ranks: set = set()
+        self._revoked: set = set()
+        self._shrink_gens: Dict[str, int] = {}
+        #: communicator scope -> world-rank group, registered by every
+        #: communicator as it is built; lets blocked waits decide that a
+        #: rendezvous can never complete because a member died
+        self._ctx_groups: Dict[Any, tuple] = {}
+        #: hooks run on every RankContext as :meth:`run` creates them —
+        #: how FaultPlan.kill rules attach to clocks that do not exist
+        #: until the run starts
+        self.context_hooks: List[Callable[[RankContext], None]] = []
         self._configured_timeout_s = progress_timeout_s
         self.monitor = ProgressMonitor(progress_timeout_s)
         # MPIX_COOP_SCHED selects how ranks are scheduled: freely
@@ -397,7 +457,8 @@ class Engine:
         return [ctx.trace for ctx in self.contexts]
 
     def collective_slot(self, key: Any, parties: int,
-                        factory: type = CollectiveSlot) -> CollectiveSlot:
+                        factory: type = CollectiveSlot,
+                        patient: bool = False) -> CollectiveSlot:
         """Get-or-create the rendezvous slot for ``key``.
 
         Slots are reclaimed once all parties retrieved their result.
@@ -407,9 +468,15 @@ class Engine:
         with self._slots_lock:
             slot = self._slots.get(key)
             if slot is None or slot.finished:
+                # patient slots are the ULFM recovery rendezvous: they
+                # run on a revoked communicator by design, so they never
+                # get a hopelessness probe
+                abort = None if patient else \
+                    (lambda: self._slot_hopeless(key))
                 slot = factory(key, parties, self.monitor,
                                on_finish=self._reap_slot,
-                               waitq_factory=self._waitq_factory)
+                               waitq_factory=self._waitq_factory,
+                               patient=patient, abort=abort)
                 self._slots[key] = slot
             if slot.parties != parties:
                 raise SimulationError(
@@ -422,6 +489,106 @@ class Engine:
             if self._slots.get(slot.key) is slot:
                 del self._slots[slot.key]
 
+    # -- elastic (ULFM) state ------------------------------------------------
+
+    def note_rank_dead(self, rank: int) -> None:
+        """Record one rank as dead (a ``FaultPlan.kill`` rule fired)."""
+        with self._elastic_lock:
+            self.dead_ranks.add(rank)
+
+    def register_ctx_group(self, scope: Any, group) -> None:
+        """Remember the world-rank group behind a communicator scope
+        (an MPI ctx_id, or ``("xccl", uid)`` for a CCL communicator).
+        Blocked waits consult the registry to fail deterministically
+        once a member dies, instead of waiting out the stall watchdog."""
+        with self._elastic_lock:
+            self._ctx_groups[scope] = tuple(group)
+
+    def _slot_hopeless(self, key: Any) -> Optional[str]:
+        """Why a slot rendezvous can never complete, or None while it
+        still can.  Keys are qualified ``(user_key, use)``; comm-scoped
+        user keys lead with an MPI ctx_id string or an
+        ``("xccl"/"xccl-group", uid, ...)`` tuple."""
+        if not self.dead_ranks and not self._revoked:
+            return None  # fault-free fast path: no locks taken
+        user = key[0] if isinstance(key, tuple) and key else None
+        if not isinstance(user, tuple) or not user:
+            return None
+        if user[0] in ("xccl", "xccl-group") and len(user) > 1:
+            scope: Any = ("xccl", user[1])
+        elif isinstance(user[0], str):
+            scope = user[0]
+        else:
+            return None
+        with self._elastic_lock:
+            if scope in self._revoked:
+                return f"communicator {scope!r} was revoked"
+            group = self._ctx_groups.get(scope)
+            dead = self.dead_ranks.intersection(group) if group else None
+        if dead:
+            return f"member rank(s) {sorted(dead)} died"
+        return None
+
+    def revoke_comm(self, ctx_id: str) -> None:
+        """Revoke one communicator context (idempotent).
+
+        First revocation bumps the ``comm_revokes`` counter, purges the
+        context's pending rendezvous slots (they can never complete —
+        a party is dead), clears a latched deadlock verdict so the
+        survivors' recovery collectives can run, and shrinks the stall
+        window so thread-scheduled peers still blocked on the dead rank
+        notice quickly.
+        """
+        with self._elastic_lock:
+            if ctx_id in self._revoked:
+                return
+            self._revoked.add(ctx_id)
+        from repro import fastpath
+        fastpath.STATS.note_revoke()
+        with self._slots_lock:
+            doomed = []
+            for key in [k for k in self._slots
+                        if self._slot_ctx_id(k) == ctx_id]:
+                doomed.append(self._slots.pop(key))
+        for slot in doomed:
+            # outside the slots lock: poison wakes waiters, whose
+            # unwind may re-enter the engine
+            slot.poison(DeadlockError(
+                f"collective {slot.key!r} aborted: communicator "
+                f"{ctx_id!r} was revoked"))
+        self.monitor.timeout_s = min(self.monitor.timeout_s, 2.0)
+        self.monitor.deadlocked = False
+        self.monitor.note_progress()
+        # wake every blocked receiver so its hopelessness probe runs
+        # now (parked coop fibers never poll)
+        for mb in self._mailboxes:
+            mb.poke()
+
+    @staticmethod
+    def _slot_ctx_id(key: Any) -> Optional[str]:
+        """The communicator context id a slot key belongs to, if its
+        shape reveals one (engine keys are ``(user_key, use)`` with
+        comm-scoped user keys leading with the ctx_id)."""
+        if isinstance(key, tuple) and key and isinstance(key[0], tuple) \
+                and key[0] and isinstance(key[0][0], str):
+            return key[0][0]
+        return None
+
+    def is_revoked(self, ctx_id: str) -> bool:
+        """Whether the communicator context has been revoked."""
+        with self._elastic_lock:
+            return ctx_id in self._revoked
+
+    def shrink_generation(self, ctx_id: str) -> int:
+        """A deterministic generation number for a shrink of ``ctx_id``
+        (how many shrinks of it completed before this one).  Called from
+        inside the shrink rendezvous' compute — once per agreement — so
+        every survivor names the new context identically."""
+        with self._elastic_lock:
+            gen = self._shrink_gens.get(ctx_id, 0)
+            self._shrink_gens[ctx_id] = gen + 1
+            return gen
+
     # -- execution -----------------------------------------------------------
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
@@ -431,6 +598,14 @@ class Engine:
         Raises :class:`RankFailedError` if any rank raised.
         """
         self.contexts = [RankContext(self, r) for r in range(self.nranks)]
+        for ctx in self.contexts:
+            for hook in self.context_hooks:
+                hook(ctx)
+        # fresh run, fresh failure knowledge
+        with self._elastic_lock:
+            self.dead_ranks.clear()
+            self._revoked.clear()
+            self._ctx_groups.clear()
         results: List[Any] = [None] * self.nranks
         failures: Dict[int, BaseException] = {}
         lock = threading.Lock()
@@ -466,6 +641,14 @@ class Engine:
             for t in threads:
                 t.join()
         if failures:
+            from repro import fastpath
+            if fastpath.gate_enabled("elastic") and \
+                    all(isinstance(e, RankKilledError)
+                        for e in failures.values()):
+                # every failure is an injected death and every survivor
+                # recovered (revoke -> agree -> shrink): the job
+                # completed elastically.  Dead ranks' results stay None.
+                return results
             # deadlocks secondary to a real failure are noise; prefer
             # the primary errors when both kinds are present
             primary = {r: e for r, e in failures.items()

@@ -19,7 +19,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import RankKilledError, SimulationError
+from repro.sim.clock import VirtualClock
 from repro.sim.engine import Engine
 from repro.sim.mailbox import Mailbox, Message
 
@@ -45,12 +46,24 @@ class DelayRule:
     delay_us: float
 
 
+@dataclass(frozen=True)
+class KillRule:
+    """Kill ``rank`` the first time its virtual clock advances past
+    ``after_us`` — a node OOM, a segfaulting library, a power event.
+    Deterministic: virtual time is identical run to run, so the death
+    always lands at the same point of the program."""
+
+    rank: int
+    after_us: float
+
+
 @dataclass
 class FaultPlan:
     """A deterministic set of faults for one run."""
 
     drops: List[DropRule] = field(default_factory=list)
     delays: List[DelayRule] = field(default_factory=list)
+    kills: List[KillRule] = field(default_factory=list)
 
     def drop(self, src: int, dst: int, nth: int = 0) -> "FaultPlan":
         """Add a drop rule (chainable)."""
@@ -64,6 +77,45 @@ class FaultPlan:
             raise SimulationError(f"negative delay {delay_us}")
         self.delays.append(DelayRule(src, dst, nth, delay_us))
         return self
+
+    def kill(self, rank: int, after_us: float = 0.0) -> "FaultPlan":
+        """Add a kill rule (chainable): ``rank`` dies at its first
+        clock advance crossing ``after_us``.  With ``MPIX_ELASTIC`` on,
+        survivors see the death as a revoked communicator and can
+        ``Comm_agree`` + ``Comm_shrink``; with it off the run fails
+        with :class:`RankFailedError`, as any dying rank always has."""
+        if after_us < 0:
+            raise SimulationError(f"negative kill time {after_us}")
+        self.kills.append(KillRule(rank, after_us))
+        return self
+
+
+class _KilledClock(VirtualClock):
+    """A rank's clock with a death deadline.
+
+    The kill fires on the first :meth:`advance` that lands at or past
+    the deadline — advances model local work, so the rank is "on CPU"
+    and can die; merges only adopt other ranks' timestamps, so they
+    never fire the kill (a dead rank cannot observe anything anyway).
+    """
+
+    __slots__ = ("_engine", "_rank", "_deadline", "_fired")
+
+    def __init__(self, engine: Engine, rank: int, deadline_us: float,
+                 start_us: float = 0.0) -> None:
+        super().__init__(start_us)
+        self._engine = engine
+        self._rank = rank
+        self._deadline = float(deadline_us)
+        self._fired = False
+
+    def advance(self, dt_us: float) -> float:
+        now = super().advance(dt_us)
+        if not self._fired and now >= self._deadline:
+            self._fired = True
+            self._engine.note_rank_dead(self._rank)
+            raise RankKilledError(self._rank, at_us=now)
+        return now
 
 
 class FaultInjector:
@@ -79,11 +131,24 @@ class FaultInjector:
         self._counts: Dict[Tuple[int, int], int] = defaultdict(int)
         self.dropped: List[Message] = []
         self.delayed: List[Message] = []
+        self.killed: List[int] = []
         self._install()
 
     def _install(self) -> None:
         for mailbox in self.engine._mailboxes:
             self._wrap(mailbox)
+        if self.plan.kills:
+            # contexts (and their clocks) do not exist until the run
+            # starts; hook their construction instead
+            self.engine.context_hooks.append(self._arm_kill)
+
+    def _arm_kill(self, ctx) -> None:
+        for rule in self.plan.kills:
+            if rule.rank == ctx.rank:
+                ctx.clock = _KilledClock(self.engine, ctx.rank,
+                                         rule.after_us,
+                                         start_us=ctx.clock.now)
+                self.killed.append(ctx.rank)
 
     def _wrap(self, mailbox: Mailbox) -> None:
         original_post = mailbox.post

@@ -53,8 +53,15 @@ class ProgressMonitor:
         self.deadlocked = False
 
     def note_progress(self) -> None:
-        """Record that some rank made communication progress."""
+        """Record that some rank made communication progress.
+
+        Progress also clears a latched deadlock verdict: the latch
+        exists to broadcast one stall to every blocked thread, but once
+        messages flow again (elastic recovery after a rank death) a
+        stale verdict must not keep poisoning healthy waits.
+        """
         self._last = _walltime.monotonic()
+        self.deadlocked = False
 
     def stalled(self) -> bool:
         """True once the run has been silent past the timeout."""
@@ -298,14 +305,38 @@ class Mailbox:
             found = self._find(src, tag, where)
             return self._pop(found) if found is not None else None
 
+    def poke(self) -> None:
+        """Wake every blocked waiter for a predicate re-check without
+        delivering anything — how the engine propagates a rank death or
+        a communicator revocation to waits that can never complete."""
+        with self._lock:
+            self._waitq.notify_all()
+
     def match(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
-              where: Optional[Callable[[Message], bool]] = None) -> Message:
-        """Blocking matched receive (FIFO per source/tag pair)."""
+              where: Optional[Callable[[Message], bool]] = None,
+              abort: Optional[Callable[[], Optional[str]]] = None) -> Message:
+        """Blocking matched receive (FIFO per source/tag pair).
+
+        ``abort()``, when given, is re-checked alongside the queue: a
+        non-None reason means the wait can never be satisfied (the peer
+        died, the communicator was revoked) and the receive raises
+        :class:`DeadlockError` immediately — deterministic and prompt,
+        instead of waiting for the wall-clock stall watchdog.  Queued
+        messages always win over an abort: anything the peer posted
+        before dying is still deliverable.
+        """
+        from repro.errors import DeadlockError
         out: List[Message] = []
 
         def ready() -> bool:
             found = self._find(src, tag, where)
             if found is None:
+                if abort is not None:
+                    reason = abort()
+                    if reason is not None:
+                        raise DeadlockError(
+                            f"rank {self.rank} blocked in recv(src={src}, "
+                            f"tag={tag}): {reason}")
                 return False
             out.append(self._pop(found))
             return True
@@ -315,7 +346,9 @@ class Mailbox:
                 f"rank {self.rank} blocked in recv(src={src}, tag={tag})"))
             return out[0]
 
-    def match_many(self, specs: Sequence[MatchSpec]) -> List[Message]:
+    def match_many(self, specs: Sequence[MatchSpec],
+                   abort: Optional[Callable[[Sequence[int]], Optional[str]]] = None
+                   ) -> List[Message]:
         """Blocking matched receive of a whole batch.
 
         ``specs`` is a sequence of ``(src, tag, where)``; the result
@@ -324,7 +357,10 @@ class Mailbox:
         that can currently match, instead of one lock round trip per
         message.  Specs are scanned in order on every pass, so two
         specs competing for the same (src, tag) stream preserve FIFO.
+        ``abort`` has :meth:`match` semantics but is called with the
+        still-outstanding source ranks, checked once per pass.
         """
+        from repro.errors import DeadlockError
         results: List[Optional[Message]] = [None] * len(specs)
         remaining = list(range(len(specs)))
         if not remaining:
@@ -349,6 +385,13 @@ class Mailbox:
                 if not remaining:
                     return True
                 if not progressed:
+                    if abort is not None:
+                        reason = abort([specs[i][0] for i in remaining])
+                        if reason is not None:
+                            raise DeadlockError(
+                                f"rank {self.rank} blocked in fused recv "
+                                f"({len(remaining)}/{len(specs)} "
+                                f"outstanding): {reason}")
                     return False
 
         with self._lock:

@@ -56,6 +56,14 @@ POLL_S = 0.02
 #: burst resume almost immediately.
 FIRST_POLL_S = 0.001
 
+#: stall/deadlock observations a *patient* wait tolerates before it
+#: gives up.  Patient waits are the ULFM recovery rendezvous (agree /
+#: shrink): during elastic recovery the detectors fire while surviving
+#: ranks are still converting their own failures one by one, so a
+#: recovery waiter treats the first few firings as spurious and keeps
+#: waiting; a genuine recovery deadlock still raises after the budget.
+PATIENT_STALLS = 8
+
 
 class ThreadWaitq:
     """Condition-variable wait queue — the thread scheduler's primitive.
@@ -73,15 +81,20 @@ class ThreadWaitq:
         self._monitor = monitor
 
     def wait_for(self, predicate: Callable[[], bool],
-                 stall_msg: Callable[[], str]) -> None:
+                 stall_msg: Callable[[], str],
+                 patient: bool = False) -> None:
         """Block until ``predicate()`` holds (caller owns the lock).
 
         ``stall_msg()`` renders the :class:`DeadlockError` text if the
-        whole run stalls first.
+        whole run stalls first.  ``patient`` waits (the ULFM recovery
+        rendezvous) absorb up to :data:`PATIENT_STALLS` stall windows —
+        refreshing the watermark each time, so a slow multi-window
+        recovery is not mistaken for a hang.
         """
         if predicate():
             return
         wait_s = FIRST_POLL_S
+        strikes = 0
         while True:
             notified = self._cond.wait(timeout=wait_s)
             wait_s = FIRST_POLL_S if notified \
@@ -89,6 +102,10 @@ class ThreadWaitq:
             if predicate():
                 return
             if self._monitor.stalled():
+                if patient and strikes < PATIENT_STALLS:
+                    strikes += 1
+                    self._monitor.note_progress()
+                    continue
                 raise DeadlockError(
                     f"{stall_msg()}; no rank made progress for "
                     f"{self._monitor.timeout_s}s")
@@ -273,11 +290,13 @@ class CoopWaitq:
         self._fallback = ThreadWaitq(lock, monitor)
 
     def wait_for(self, predicate: Callable[[], bool],
-                 stall_msg: Callable[[], str]) -> None:
+                 stall_msg: Callable[[], str],
+                 patient: bool = False) -> None:
         """Park until ``predicate()`` holds (caller owns the lock)."""
         fiber = self._sched.current()
         if fiber is None:
-            return self._fallback.wait_for(predicate, stall_msg)
+            return self._fallback.wait_for(predicate, stall_msg, patient)
+        strikes = 0
         while True:
             if predicate():
                 return
@@ -287,14 +306,22 @@ class CoopWaitq:
                 self._sched.park(fiber)
             finally:
                 self._lock.acquire()
+            # a deadlock wake does not deregister; notify_all does.
+            # Either way, drop any stale registration before deciding.
+            self._discard(fiber)
             if fiber.deadlocked:
-                self._discard(fiber)
+                # always clear the flag: a caller that survives the
+                # raise (elastic recovery) must be able to park again
+                # without spuriously re-raising
+                fiber.deadlocked = False
+                if patient and strikes < PATIENT_STALLS:
+                    # recovery rendezvous: peers may still be converting
+                    # their own failures; treat the firing as spurious
+                    strikes += 1
+                    continue
                 raise DeadlockError(
                     f"{stall_msg()}; every live rank is parked "
                     f"(exact deadlock)")
-            # woken by notify_all (already deregistered) or a racing
-            # wake consumed in park(); drop any stale registration
-            self._discard(fiber)
 
     def _discard(self, fiber: _Fiber) -> None:
         try:

@@ -430,7 +430,8 @@ class CCLBackend:
                     else:
                         msg = ctx.mailbox.match(
                             src=peer_world,
-                            where=self._seq_matcher(op.comm.uid, seq))
+                            where=self._seq_matcher(op.comm.uid, seq),
+                            abort=self._dead_peer_probe(ctx, peer_world))
                 matched.append(msg)
             if index:
                 # inbound mail this group's recvs did not claim stays
@@ -452,14 +453,18 @@ class CCLBackend:
                 seq = op.comm.next_recv_seq(op.peer)
                 specs.append((peer_world, ANY_TAG,
                               self._seq_matcher(op.comm.uid, seq)))
-            matched = ctx.mailbox.match_many(specs)
+            matched = ctx.mailbox.match_many(
+                specs, abort=lambda srcs: next(
+                    (f"peer rank {s} died" for s in srcs
+                     if s in ctx.engine.dead_ranks), None))
         else:
             for op in recv_ops:
                 peer_world = op.comm.world_rank(op.peer)
                 seq = op.comm.next_recv_seq(op.peer)
                 matched.append(ctx.mailbox.match(
                     src=peer_world,
-                    where=self._seq_matcher(op.comm.uid, seq)))
+                    where=self._seq_matcher(op.comm.uid, seq),
+                    abort=self._dead_peer_probe(ctx, peer_world)))
 
         arrivals_in: List[float] = [last]
         if zc_exchange:
@@ -473,7 +478,8 @@ class CCLBackend:
             for pos, op, peer_world, seq in pending:
                 matched[pos] = ctx.mailbox.match(
                     src=peer_world,
-                    where=self._seq_matcher(op.comm.uid, seq))
+                    where=self._seq_matcher(op.comm.uid, seq),
+                    abort=self._dead_peer_probe(ctx, peer_world))
             self._drain_recvs(
                 ctx, ((op, matched[pos]) for pos, op, _pw, _s in pending),
                 arrivals_in, "fallback")
@@ -483,6 +489,17 @@ class CCLBackend:
         ctx.clock.merge_many(arrivals_in)
         for op in ops:
             op.comm.stream.enqueue(0.0, ctx.now, label="ccl-group")
+
+    @staticmethod
+    def _dead_peer_probe(ctx, peer_world: int):
+        """Hopelessness probe for a blocking CCL receive: a dead peer
+        can never post, so the wait fails deterministically instead of
+        stalling out the watchdog."""
+        def probe():
+            if peer_world in ctx.engine.dead_ranks:
+                return f"peer rank {peer_world} died"
+            return None
+        return probe
 
     @staticmethod
     def _drain_recvs(ctx, pairs, arrivals: List[float],

@@ -57,6 +57,7 @@ class XCCLComm:
         self.uid = uid
         self.backend = backend
         self.group: Tuple[int, ...] = tuple(group)
+        ctx.engine.register_ctx_group(("xccl", uid), self.group)
         self.rank = rank
         self.stream = stream or ctx.device.create_stream(f"xccl:{uid}")
         self._coll_seq = itertools.count(1)

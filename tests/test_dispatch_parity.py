@@ -428,6 +428,54 @@ def test_hier_multi_node_coop_bit_identical():
                     f"gates={combo}: rank {rank} clock after op {i} differs"
 
 
+#: the full gate registry, in GATE_ENV order: 2^9 = 512 combinations.
+ALL_GATES = ("plan_cache", "group_fusion", "zero_copy", "trace",
+             "coop_sched", "hier_pipe", "hetero", "online_tune", "elastic")
+
+
+def _run_under_all_gates(combo):
+    prev = fastpath.configure(**dict(zip(ALL_GATES, combo)))
+    try:
+        return runtime.run(_twelve_collectives_body, system="thetagpu",
+                           nodes=1, ranks_per_node=4)
+    finally:
+        fastpath.configure(**prev)
+
+
+def _assert_all_gate_parity(combos):
+    baseline = _run_under_all_gates((False,) * 9)
+    for combo in combos:
+        candidate = _run_under_all_gates(combo)
+        _assert_bit_identical(baseline, candidate,
+                              dict(zip(ALL_GATES, combo)), 4)
+
+
+def test_new_gates_inert_fast():
+    """Fast CI leg of the 2^9 matrix: the online tuner (below its
+    warm-up — each collective runs once per size here) and the elastic
+    error model (no faults injected) must be provably inert, alone and
+    together, under either scheduler.  Payloads AND virtual times."""
+    _assert_all_gate_parity([
+        (True, True, True, False, coop, False, False, tune, elastic)
+        for tune in (False, True)
+        for elastic in (False, True)
+        for coop in (False, True)])
+
+
+@pytest.mark.slow
+def test_all_nine_gates_bit_identical_full():
+    """The full 2^9 = 512 gate matrix: every combination of all nine
+    MPIX_* gates produces payloads and virtual times bit-identical to
+    the all-off run on a single-node hybrid job.  Every gate is either
+    pure wall-clock (plan cache, fusion, zero copy), observational
+    (trace), an execution-model swap (coop scheduler), inert off its
+    trigger (hier: one node; hetero: one vendor; online tuner: below
+    warm-up; elastic: no faults) — so the whole product is inert."""
+    _assert_all_gate_parity(
+        [c for c in itertools.product([False, True], repeat=9)
+         if any(c)])
+
+
 def test_configure_restores():
     """fastpath.configure returns the previous states and restores."""
     before = fastpath.gates()

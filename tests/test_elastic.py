@@ -1,0 +1,250 @@
+"""ULFM-style elastic fault recovery (``MPIX_ELASTIC``).
+
+A killed rank revokes the communicators it belonged to; survivors see
+:class:`~repro.errors.CommRevokedError`, agree on the failure set
+(``Comm_agree``), rebuild a dense-ranked communicator (``Comm_shrink``)
+and finish a FIXED post-recovery schedule on it.  The fixed schedule is
+the application contract: survivors abort the failed collective at
+*different* loop indices, so "resume where I left off" would deadlock —
+agreement exists precisely to name the common restart point.
+"""
+
+import numpy as np
+import pytest
+
+from repro import fastpath
+from repro.errors import CommRevokedError, RankFailedError
+from repro.hw.systems import make_system
+from repro.mpi import SUM, Communicator
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, with_faults
+
+POST = 3  # fixed post-recovery schedule length
+
+
+def _recovery_body(ctx, pre_iters=6, count=256):
+    """Allreduce loop that recovers via agree -> shrink -> fixed schedule.
+
+    Returns ``None`` on the killed rank, and
+    ``(payload, new_size, failed_set)`` on every survivor, where
+    ``payload`` is the full post-recovery result vector.
+    """
+    comm = Communicator.world(ctx)
+    buf = ctx.device.zeros(count)
+    out = ctx.device.zeros(count)
+    done = 0
+    try:
+        for _ in range(pre_iters + 1):
+            buf.array[:] = float(ctx.rank + done)
+            comm.Allreduce(buf, out, op=SUM)
+            done += 1
+    except CommRevokedError:
+        _flag, failed = comm.Comm_agree()
+        newcomm = comm.Comm_shrink()
+        nbuf = ctx.device.zeros(count)
+        nout = ctx.device.zeros(count)
+        for i in range(POST):
+            nbuf.array[:] = float(newcomm.Get_rank() + i)
+            newcomm.Allreduce(nbuf, nout, op=SUM)
+        return (nout.array.copy(), newcomm.Get_size(),
+                tuple(sorted(failed)))
+    return None
+
+
+def _expect_sum(survivor_count):
+    # final iteration: every survivor contributes (dense_rank + POST-1)
+    return sum(range(survivor_count)) + (POST - 1) * survivor_count
+
+
+class TestElasticRecovery:
+    @pytest.mark.parametrize("coop", [False, True],
+                             ids=["thread-sched", "coop-sched"])
+    @pytest.mark.parametrize("pre_iters,kill_at",
+                             [(6, 60.0), (0, 0.0)],
+                             ids=["mid-collective", "clean-death"])
+    def test_kill_revoke_shrink_recovers(self, thetagpu1, coop,
+                                         pre_iters, kill_at):
+        prev = fastpath.configure(elastic=True, coop_sched=coop)
+        try:
+            engine = Engine(thetagpu1, nranks=8, progress_timeout_s=2.0)
+            injector = with_faults(engine,
+                                   FaultPlan().kill(3, after_us=kill_at))
+            results = engine.run(_recovery_body, pre_iters=pre_iters)
+        finally:
+            fastpath.configure(**prev)
+        assert injector.killed == [3]
+        assert results[3] is None
+        expect = _expect_sum(7)
+        for rank, r in enumerate(results):
+            if rank == 3:
+                continue
+            payload, new_size, failed = r
+            assert new_size == 7
+            assert failed == (3,)
+            assert np.all(payload == expect)
+        # Engine construction zeroes the process-global counters, so
+        # these are this run's counts: one comm revoked, one shrink
+        assert fastpath.STATS.comm_revokes == 1
+        assert fastpath.STATS.comm_shrinks == 1
+
+    def test_64_rank_recovery_bit_identical_to_dense_run(self):
+        """The ISSUE acceptance scenario: 64 ranks under the coop
+        scheduler, one killed mid-allreduce; after revoke -> agree ->
+        shrink the 63 survivors' payloads are bit-identical to a fresh
+        63-rank run of the same fixed schedule."""
+        system = make_system("thetagpu", 8)
+        prev = fastpath.configure(elastic=True, coop_sched=True)
+        try:
+            engine = Engine(system, nranks=64, progress_timeout_s=3.0)
+            with_faults(engine, FaultPlan().kill(17, after_us=60.0))
+            results = engine.run(_recovery_body, pre_iters=4)
+        finally:
+            fastpath.configure(**prev)
+        survivors = [r for i, r in enumerate(results) if i != 17]
+        assert results[17] is None
+        assert all(r is not None and r[1] == 63 and r[2] == (17,)
+                   for r in survivors)
+
+        # fresh dense 63-rank run of the identical fixed schedule
+        def dense_body(ctx):
+            comm = Communicator.world(ctx)
+            buf = ctx.device.zeros(256)
+            out = ctx.device.zeros(256)
+            for i in range(POST):
+                buf.array[:] = float(comm.Get_rank() + i)
+                comm.Allreduce(buf, out, op=SUM)
+            return out.array.copy()
+
+        prev = fastpath.configure(coop_sched=True)
+        try:
+            dense = Engine(make_system("thetagpu", 8), nranks=63,
+                           progress_timeout_s=3.0).run(dense_body)
+        finally:
+            fastpath.configure(**prev)
+        for r, ref in zip(survivors, dense):
+            assert r[0].tobytes() == ref.tobytes()
+
+    def test_gate_off_kill_keeps_historical_semantics(self, thetagpu1):
+        """Without MPIX_ELASTIC a killed rank still fails the run —
+        the gate must not change failure semantics when off."""
+        engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+        with_faults(engine, FaultPlan().kill(1, after_us=0.0))
+        with pytest.raises(RankFailedError):
+            engine.run(_recovery_body, pre_iters=2)
+
+    def test_recovered_comm_survives_more_collectives(self, thetagpu1):
+        """The shrunk communicator is a first-class comm: bcast and a
+        second allreduce on it work too."""
+        prev = fastpath.configure(elastic=True)
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            buf = ctx.device.zeros(64)
+            out = ctx.device.zeros(64)
+            try:
+                for i in range(4):
+                    buf.array[:] = 1.0
+                    comm.Allreduce(buf, out, op=SUM)
+            except CommRevokedError:
+                comm.Comm_agree()
+                new = comm.Comm_shrink()
+                b = ctx.device.zeros(64)
+                if new.Get_rank() == 0:
+                    b.array[:] = 7.0
+                new.Bcast(b, root=0)
+                o = ctx.device.zeros(64)
+                new.Allreduce(b, o, op=SUM)
+                return (float(b.array[0]), float(o.array[0]))
+            return None
+
+        try:
+            engine = Engine(thetagpu1, nranks=6, progress_timeout_s=2.0)
+            with_faults(engine, FaultPlan().kill(2, after_us=30.0))
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results[2] is None
+        assert all(r == (7.0, 35.0) for i, r in enumerate(results)
+                   if i != 2)
+
+
+class TestRevokeSemantics:
+    def test_ops_on_revoked_comm_raise(self, thetagpu1):
+        prev = fastpath.configure(elastic=True)
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            if ctx.rank == 0:
+                comm.Comm_revoke()
+            # revoke is engine-wide and immediate: every rank's next
+            # operation (no barrier in between) must raise
+            assert comm.Comm_is_revoked()
+            with pytest.raises(CommRevokedError):
+                comm.Allreduce(ctx.device.zeros(8), ctx.device.zeros(8),
+                               op=SUM)
+            with pytest.raises(CommRevokedError):
+                comm.Send(ctx.device.zeros(8), (ctx.rank + 1) % 4)
+            return "revoked"
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results == ["revoked"] * 4
+
+    def test_revoke_is_idempotent(self, thetagpu1):
+        prev = fastpath.configure(elastic=True)
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            comm.Comm_revoke()   # every rank revokes; counted once
+            comm.Comm_revoke()
+            return comm.Comm_is_revoked()
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results == [True] * 4
+        # 4 ranks x 2 calls each, deduplicated to one revocation
+        assert fastpath.STATS.comm_revokes == 1
+
+    def test_shrink_without_failure_is_identity_shaped(self, thetagpu1):
+        """Revoke with no deaths: shrink keeps all ranks but yields a
+        fresh, working communicator."""
+        prev = fastpath.configure(elastic=True)
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            comm.Comm_revoke()
+            _flag, failed = comm.Comm_agree()
+            new = comm.Comm_shrink()
+            buf = ctx.device.zeros(16)
+            buf.array[:] = 1.0
+            out = ctx.device.zeros(16)
+            new.Allreduce(buf, out, op=SUM)
+            return (failed, new.Get_size(), float(out.array[0]))
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results == [((), 4, 4.0)] * 4
+
+    def test_agree_ands_flags(self, thetagpu1):
+        prev = fastpath.configure(elastic=True)
+
+        def body(ctx):
+            comm = Communicator.world(ctx)
+            flag, failed = comm.Comm_agree(flag=0 if ctx.rank == 1 else 1)
+            return (flag, failed)
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=2.0)
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results == [(0, ())] * 4

@@ -1,15 +1,31 @@
-"""Failure injection: dropped/delayed messages, dying ranks, CCL errors."""
+"""Failure injection: dropped/delayed messages, dying ranks, CCL errors.
+
+The fault matrix runs under BOTH rank schedulers (the ``both_scheds``
+fixture): failure detection must behave identically whether ranks are
+preemptive threads or cooperative fibers.
+"""
 
 import pytest
 
+from repro import fastpath
 from repro.core.abstraction import XCCLAbstractionLayer
 from repro.core.fallback import FallbackReason
 from repro.core.hybrid import DispatchMode, HybridDispatcher
+from repro.core.runtime import world_communicator
 from repro.errors import CCLError, DeadlockError, RankFailedError, SimulationError
 from repro.mpi import SUM, Communicator
 from repro.sim.engine import Engine
 from repro.sim.faults import DelayRule, DropRule, FaultPlan, with_faults
 from repro.xccl.nccl import NCCLBackend
+
+
+@pytest.fixture(params=[False, True], ids=["thread-sched", "coop-sched"])
+def both_scheds(request):
+    """Run the fault matrix under the thread AND cooperative
+    schedulers — fault semantics must not depend on the scheduler."""
+    prev = fastpath.configure(coop_sched=request.param)
+    yield request.param
+    fastpath.configure(**prev)
 
 
 class TestFaultPlan:
@@ -24,7 +40,7 @@ class TestFaultPlan:
 
 
 class TestDrops:
-    def test_dropped_message_deadlocks_receiver(self, thetagpu1):
+    def test_dropped_message_deadlocks_receiver(self, thetagpu1, both_scheds):
         engine = Engine(thetagpu1, nranks=2, progress_timeout_s=1.5)
         injector = with_faults(engine, FaultPlan().drop(0, 1, nth=0))
 
@@ -41,7 +57,7 @@ class TestDrops:
                    for e in exc_info.value.failures.values())
         assert len(injector.dropped) == 1
 
-    def test_unrelated_traffic_survives_a_drop(self, thetagpu1):
+    def test_unrelated_traffic_survives_a_drop(self, thetagpu1, both_scheds):
         # drop a message between 2 and 3; ranks 0/1 must still finish —
         # we only assert on the survivors' results
         engine = Engine(thetagpu1, nranks=4, progress_timeout_s=1.5)
@@ -66,7 +82,7 @@ class TestDrops:
             engine.run(body)
         assert results == {0: 1.0, 1: 0.0}
 
-    def test_drop_nth_counts_per_pair(self, thetagpu1):
+    def test_drop_nth_counts_per_pair(self, thetagpu1, both_scheds):
         engine = Engine(thetagpu1, nranks=2, progress_timeout_s=1.5)
         injector = with_faults(engine, FaultPlan().drop(0, 1, nth=1))
 
@@ -85,7 +101,7 @@ class TestDrops:
 
 
 class TestDelays:
-    def test_delay_extends_virtual_latency(self, thetagpu1):
+    def test_delay_extends_virtual_latency(self, thetagpu1, both_scheds):
         def run_with(plan):
             engine = Engine(thetagpu1, nranks=2, progress_timeout_s=5.0)
             if plan:
@@ -105,7 +121,7 @@ class TestDelays:
         delayed = run_with(FaultPlan().delay(0, 1, 500.0))
         assert delayed == pytest.approx(base + 500.0)
 
-    def test_delayed_collective_still_correct(self, thetagpu1):
+    def test_delayed_collective_still_correct(self, thetagpu1, both_scheds):
         engine = Engine(thetagpu1, nranks=4, progress_timeout_s=5.0)
         with_faults(engine, FaultPlan().delay(0, 1, 200.0).delay(2, 3, 99.0))
 
@@ -119,7 +135,7 @@ class TestDelays:
 
         assert engine.run(body) == [4.0] * 4
 
-    def test_delay_slows_exactly_one_message(self, thetagpu1):
+    def test_delay_slows_exactly_one_message(self, thetagpu1, both_scheds):
         engine = Engine(thetagpu1, nranks=2, progress_timeout_s=5.0)
         injector = with_faults(engine, FaultPlan().delay(0, 1, 100.0, nth=0))
 
@@ -137,7 +153,7 @@ class TestDelays:
 
 
 class TestDyingRanks:
-    def test_rank_death_reported_not_hung(self, thetagpu1):
+    def test_rank_death_reported_not_hung(self, thetagpu1, both_scheds):
         def body(ctx):
             comm = Communicator.world(ctx)
             if ctx.rank == 2:
@@ -167,7 +183,7 @@ class _FlakyNCCL(NCCLBackend):
 
 
 class TestCCLErrorFallback:
-    def test_runtime_error_falls_back_to_mpi(self, thetagpu1):
+    def test_runtime_error_falls_back_to_mpi(self, thetagpu1, both_scheds):
         """A CCL runtime failure mid-call reroutes to MPI transparently
         — advantage 3 of §1.2, and the §4.4 war story."""
         engine = Engine(thetagpu1, nranks=4, progress_timeout_s=10.0)
@@ -192,3 +208,114 @@ class TestCCLErrorFallback:
             assert mpi_calls == 1
             assert any(reason == FallbackReason.CCL_ERROR
                        for (_c, reason) in fallbacks)
+
+
+class TestDerivedCommDegradation:
+    """Fast paths must degrade gracefully — not corrupt data — when a
+    FaultInjector patches the mailboxes, including on DERIVED
+    communicators (Dup / Split), whose caches and CCL state are built
+    after the injector installed itself."""
+
+    def test_zero_copy_forces_copies_on_faulted_derived_comms(self,
+                                                              thetagpu1):
+        """With an injector installed every mailbox is patched, so the
+        zero-copy handoff must snapshot payloads (copies_forced) — on
+        the world comm AND on comms derived from it."""
+        prev = fastpath.configure(zero_copy=True)
+
+        def body(ctx):
+            comm = world_communicator(ctx)
+            dup = comm.Dup()
+            half = dup.Split(color=ctx.rank % 2, key=ctx.rank)
+            peer = 1 - half.rank if half.size > 1 else half.rank
+            buf = ctx.device.zeros(1 << 14)
+            buf.array[:] = float(ctx.rank)
+            out = ctx.device.zeros(1 << 14)
+            half.Sendrecv(buf, peer, out, peer)
+            return float(out.array[0])
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=5.0)
+            # the delay never fires (nth=99) — only the patching matters
+            with_faults(engine, FaultPlan().delay(0, 1, 1.0, nth=99))
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        # split comms: {0, 2} and {1, 3}; each rank receives its peer's
+        # world rank
+        assert results == [2.0, 3.0, 0.0, 1.0]
+        assert fastpath.STATS.copies_forced > 0
+        assert fastpath.STATS.copies_elided == 0
+
+    def test_fusion_falls_back_unfused_on_faulted_dup_comm(self,
+                                                           thetagpu1):
+        """Grouped CCL send/recv on a Dup'd communicator under an
+        injector: the fused whole-group exchange would bypass the
+        patched ``post``, so it must fall back to unfused messages —
+        counted, and still in program order."""
+        import numpy as np
+        from repro.mpi.datatypes import FLOAT
+        from repro.xccl.api import (xcclGroupEnd, xcclGroupStart,
+                                    xcclRecv, xcclSend,
+                                    xcclStreamSynchronize)
+        prev = fastpath.configure(group_fusion=True)
+
+        def body(ctx):
+            world = world_communicator(ctx, mode=DispatchMode.PURE_XCCL)
+            comm = world.Dup()
+            comm.coll = world.coll   # Dup keeps the plain MPI dispatcher
+            xc = comm.coll.layer.ccl_comm(comm)
+            peer = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            outs = [ctx.device.zeros(4, dtype=np.float32)
+                    for _ in range(3)]
+            ins_ = [ctx.device.zeros(4, dtype=np.float32)
+                    for _ in range(3)]
+            for i, o in enumerate(outs):
+                o.array[:] = 10 * comm.rank + i
+            xcclGroupStart(xc)
+            for i in range(3):
+                xcclSend(outs[i], 4, FLOAT, peer, xc)
+                xcclRecv(ins_[i], 4, FLOAT, src, xc)
+            xcclGroupEnd()
+            xcclStreamSynchronize(xc)
+            return [float(b.array[0]) for b in ins_]
+
+        try:
+            engine = Engine(thetagpu1, nranks=4, progress_timeout_s=5.0)
+            with_faults(engine, FaultPlan().delay(0, 1, 1.0, nth=99))
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        for rank, vals in enumerate(results):
+            src = (rank - 1) % 4
+            assert vals == [10.0 * src, 10.0 * src + 1, 10.0 * src + 2]
+        assert fastpath.STATS.fusion_fallbacks > 0
+
+    def test_hier_collective_on_split_comm_survives_injector(self):
+        """A hierarchical (multi-node) allreduce on a Split-derived
+        communicator stays correct with an injector installed: the
+        pipelined hierarchy's sub-comms inherit the degraded (copying)
+        transport."""
+        from repro.hw.systems import make_system
+        prev = fastpath.configure(hier_pipe=True, zero_copy=True)
+
+        def body(ctx):
+            comm = world_communicator(ctx)
+            # everyone in one color: a derived comm congruent to world
+            sub = comm.Split(color=0, key=ctx.rank)
+            buf = ctx.device.zeros(1 << 20)
+            buf.array[:] = 1.0
+            out = ctx.device.zeros(1 << 20)
+            sub.Allreduce(buf, out, op=SUM)
+            return float(out.array[0])
+
+        try:
+            engine = Engine(make_system("thetagpu", 2), nranks=16,
+                            progress_timeout_s=5.0)
+            with_faults(engine, FaultPlan().delay(0, 1, 1.0, nth=99))
+            results = engine.run(body)
+        finally:
+            fastpath.configure(**prev)
+        assert results == [16.0] * 16
+        assert fastpath.STATS.copies_forced > 0

@@ -1,0 +1,112 @@
+"""Elastic fault-recovery smoke scenario (``make elastic-smoke``).
+
+Runs a 16-rank allreduce loop under ``MPIX_ELASTIC`` +
+``MPIX_ONLINE_TUNE`` with one rank killed mid-run: survivors see the
+revoked world communicator, agree on the failure set, shrink to a
+15-rank communicator, and finish a fixed post-recovery schedule on it.
+The run is traced; the Chrome trace is written to the path given as
+``argv[1]`` (default ``/tmp/mpix-elastic-smoke.json``) so CI can
+validate it and print the online tuner's ``tune-report`` view.
+
+Exit status is non-zero unless every survivor recovered, agreed on the
+same failure set, and produced the bit-identical post-shrink payload.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro import fastpath
+from repro.core.runtime import world_communicator
+from repro.errors import CommRevokedError
+from repro.hw.systems import make_system
+from repro.mpi import SUM
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, with_faults
+from repro.sim.timeline import chrome_trace
+
+NRANKS = 16
+DEAD = 5
+KILL_AT_US = 60.0
+COUNT = 2048
+PRE_ITERS = 8    # the kill lands inside this loop
+POST_ITERS = 12  # fixed post-recovery schedule, long enough for the
+                 # online tuner to re-fit for the 15-rank survivor shape
+
+
+def body(ctx):
+    comm = world_communicator(ctx)
+    buf = ctx.device.zeros(COUNT)
+    out = ctx.device.zeros(COUNT)
+    done = 0
+    try:
+        for _ in range(PRE_ITERS):
+            buf.array[:] = float(ctx.rank + done)
+            comm.Allreduce(buf, out, op=SUM)
+            done += 1
+    except CommRevokedError:
+        # ULFM recovery: agree on the failure set, shrink, then run a
+        # FIXED schedule on the new communicator.  Survivors abort the
+        # failed collective at different loop indices, so "resume where
+        # I left off" would deadlock — the agreed schedule is the
+        # contract (that is what Comm_agree is for).
+        _flag, failed = comm.Comm_agree()
+        newcomm = comm.Comm_shrink()
+        nbuf = ctx.device.zeros(COUNT)
+        nout = ctx.device.zeros(COUNT)
+        for i in range(POST_ITERS):
+            nbuf.array[:] = float(newcomm.Get_rank() + i)
+            newcomm.Allreduce(nbuf, nout, op=SUM)
+        return (float(nout.array[0]), newcomm.Get_size(),
+                tuple(sorted(failed)))
+    return None
+
+
+def main(argv):
+    out_path = argv[1] if len(argv) > 1 else "/tmp/mpix-elastic-smoke.json"
+    prev = fastpath.configure(elastic=True, online_tune=True,
+                              coop_sched=True)
+    try:
+        engine = Engine(make_system("thetagpu", 2), nranks=NRANKS,
+                        trace=True, progress_timeout_s=5.0)
+        injector = with_faults(engine,
+                               FaultPlan().kill(DEAD, after_us=KILL_AT_US))
+        results = engine.run(body)
+        doc = chrome_trace(engine.traces(),
+                           nodes={r: engine.node_of(r)
+                                  for r in range(NRANKS)})
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+
+        survivors = [r for i, r in enumerate(results) if i != DEAD]
+        expect = (sum(range(NRANKS - 1))
+                  + (POST_ITERS - 1) * (NRANKS - 1))
+        ok = (injector.killed == [DEAD]
+              and results[DEAD] is None
+              and all(r is not None
+                      and r[1] == NRANKS - 1
+                      and r[2] == (DEAD,)
+                      and abs(r[0] - expect) < 1e-9 for r in survivors))
+        print(f"elastic smoke: {NRANKS} ranks, rank {DEAD} killed at "
+              f"{KILL_AT_US}us; revokes={fastpath.STATS.comm_revokes} "
+              f"shrinks={fastpath.STATS.comm_shrinks} "
+              f"online_updates={fastpath.STATS.online_updates}")
+        if not ok:
+            print(f"FAILED: survivor results {set(survivors)}")
+            return 1
+        if fastpath.STATS.comm_revokes < 1 or fastpath.STATS.comm_shrinks < 1:
+            print("FAILED: no revoke/shrink recorded")
+            return 1
+        if fastpath.STATS.online_updates < 1:
+            print("FAILED: online tuner never re-fit on the shrunk comm")
+            return 1
+        print(f"OK: all {NRANKS - 1} survivors recovered with identical "
+              f"payloads; trace -> {out_path}")
+        return 0
+    finally:
+        fastpath.configure(**prev)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
